@@ -1,0 +1,85 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(see DESIGN.md §4 for the experiment index).  Each benchmark
+
+* times the central computation with ``pytest-benchmark`` (so
+  ``pytest benchmarks/ --benchmark-only`` reports how long the cost model /
+  simulators take),
+* asserts the qualitative *shape* the paper reports (who wins, by roughly
+  what factor, where the walls/crossovers are), and
+* writes the regenerated rows/series to ``benchmarks/results/`` so they can
+  be compared side by side with the paper (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.compiler import CompilationOptions, TybecCompiler
+from repro.substrate import MAIA_STRATIX_V_GSD8, SMALL_EDU_DEVICE, VIRTEX7_ADM_PCIE_7V3
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_result(results_dir):
+    """Write a regenerated table to benchmarks/results/<name>.txt."""
+
+    def _write(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text if text.endswith("\n") else text + "\n")
+        return path
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def maia_compiler() -> TybecCompiler:
+    """A compiler targeting the case-study board, calibration pre-warmed."""
+    compiler = TybecCompiler(CompilationOptions(device=MAIA_STRATIX_V_GSD8))
+    _ = compiler.cost_db, compiler.dram_bandwidth, compiler.host_bandwidth
+    return compiler
+
+
+@pytest.fixture(scope="session")
+def small_device_compiler() -> TybecCompiler:
+    """A compiler targeting the small device used for the wall studies."""
+    compiler = TybecCompiler(CompilationOptions(device=SMALL_EDU_DEVICE))
+    _ = compiler.cost_db, compiler.dram_bandwidth, compiler.host_bandwidth
+    return compiler
+
+
+@pytest.fixture(scope="session")
+def devices():
+    return {
+        "maia": MAIA_STRATIX_V_GSD8,
+        "virtex7": VIRTEX7_ADM_PCIE_7V3,
+        "small": SMALL_EDU_DEVICE,
+    }
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Render a simple fixed-width text table."""
+    widths = [max(len(str(h)), *(len(f"{row[i]:.4g}" if isinstance(row[i], float) else str(row[i]))
+                                  for row in rows)) for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        cells = []
+        for value, width in zip(row, widths):
+            text = f"{value:.4g}" if isinstance(value, float) else str(value)
+            cells.append(text.rjust(width))
+        lines.append("  ".join(cells))
+    return "\n".join(lines) + "\n"

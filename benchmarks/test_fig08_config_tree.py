@@ -1,0 +1,79 @@
+"""Experiment E8 — Figure 8: configuration extracted from the IR hierarchy.
+
+Figure 8 shows the configuration tree the compiler builds for a typical
+design: a coarse-grained pipeline in which one of the peer kernels uses a
+custom combinatorial (``comb``) function.  This benchmark constructs that
+design (plus the paper's Figure-14 style data-parallel variant), measures
+how quickly the analysis runs, and regenerates the tree rendering.
+"""
+
+import pytest
+
+from repro.compiler import build_configuration_tree, classify_module
+from repro.ir import IRBuilder, ScalarType
+from repro.kernels import SORKernel
+from repro.models import ConfigurationClass
+
+from .conftest import format_table
+
+UI18 = ScalarType.uint(18)
+
+
+def build_figure8_module():
+    """A coarse-grained pipeline whose second peer uses a comb block."""
+    b = IRBuilder("fig8_coarse_pipeline")
+    comb = b.function("combA", kind="comb", args=[(UI18, "x")])
+    comb.instr("xor", UI18, comb.arg("x"), 0xFF)
+    pipe_a = b.function("pipeA", kind="pipe", args=[(UI18, "x")])
+    pipe_a.mul(UI18, pipe_a.arg("x"), 3)
+    pipe_a.add(UI18, "1", 7)
+    pipe_b = b.function("pipeB", kind="pipe", args=[(UI18, "x")])
+    pipe_b.add(UI18, pipe_b.arg("x"), 1)
+    pipe_b.call("combA", ["x"], kind="comb")
+    top = b.function("f0", kind="pipe", args=[(UI18, "x")])
+    top.call("pipeA", ["x"], kind="pipe")
+    top.call("pipeB", ["x"], kind="pipe")
+    main = b.function("main", kind="none")
+    main.call("f0", ["x"], kind="pipe")
+    return b.build()
+
+
+def test_fig08_configuration_tree(benchmark, write_result):
+    module = build_figure8_module()
+    tree = benchmark(build_configuration_tree, module)
+
+    text = tree.to_text()
+    write_result("fig08_configuration_tree", text)
+
+    # the tree mirrors the paper's figure: a pipe root with two pipe peers,
+    # one of which owns a comb leaf
+    assert tree.root.function == "main"
+    assert tree.depth() == 4
+    assert tree.count("pipe") == 3
+    assert tree.count("comb") == 1
+    assert [leaf.function for leaf in tree.leaves()] == ["pipeA", "combA"]
+    assert "@combA [comb]" in text
+    assert "@pipeB [pipe]" in text
+
+    classification = classify_module(module)
+    assert classification.configuration_class is ConfigurationClass.C2
+    assert classification.lanes == 1
+
+
+def test_fig08_lane_replicated_tree(benchmark, write_result):
+    """The Figure-14 counterpart: four thread-parallel SOR lanes."""
+    module = SORKernel().build_module(lanes=4, grid=(24, 24, 24))
+    tree = benchmark(build_configuration_tree, module)
+
+    write_result("fig08_sor_4lane_tree", tree.to_text())
+    assert tree.lanes() == 4
+    assert tree.count("par") == 1
+    assert tree.count("pipe") == 4
+    assert classify_module(module).configuration_class is ConfigurationClass.C1
+
+    rows = [[kind, tree.count(kind)] for kind in ("pipe", "par", "seq", "comb")]
+    write_result(
+        "fig08_sor_4lane_counts",
+        format_table(["function kind", "instances"], rows,
+                     title="Configuration summary of the 4-lane SOR variant"),
+    )

@@ -1,0 +1,133 @@
+"""Experiment E1 — Figure 9: per-instruction resource cost expressions.
+
+The paper derives the divider's ALUT cost expression (a quadratic trend
+line, ``x^2 + 3.7x - 10.6``) from three synthesis data points (18, 32 and
+64 bits) and validates it by interpolating 24 bits: the estimate of 654
+ALUTs compares with an actual usage of 652.  The multiplier shows
+piece-wise-linear ALUT glue and a step-wise DSP-block count.
+
+This benchmark re-runs that calibration flow on the synthetic synthesiser
+(the stand-in for Quartus), regenerates the figure's series, and checks:
+
+* the fitted divider polynomial is quadratic and interpolates an unseen
+  width to within a couple of per cent (the paper's 654 vs 652 is 0.3%);
+* multiplier DSP usage steps at the 18-bit tile boundaries (1 DSP at 18
+  bits up to 8 DSPs at 64 bits);
+* multiplier ALUT glue stays piece-wise-linear (far below the divider).
+"""
+
+import pytest
+
+from repro.cost import calibrate_device, fit_polynomial
+from repro.ir import ScalarType
+from repro.substrate import MAIA_STRATIX_V_GSD8, SyntheticSynthesizer
+
+from .conftest import format_table
+
+CALIBRATION_WIDTHS = (18, 32, 64)
+INTERPOLATION_WIDTH = 24
+SWEEP_WIDTHS = (8, 16, 18, 24, 32, 40, 48, 56, 64)
+
+
+@pytest.fixture(scope="module")
+def synthesizer():
+    return SyntheticSynthesizer(MAIA_STRATIX_V_GSD8)
+
+
+def _calibrate(synthesizer):
+    dataset = synthesizer.characterize(opcodes=["add", "mul", "div"], widths=list(CALIBRATION_WIDTHS))
+    return calibrate_device(dataset, dsp_input_width=MAIA_STRATIX_V_GSD8.dsp_input_width)
+
+
+def test_fig09_divider_quadratic_fit(benchmark, synthesizer, write_result):
+    """Fit the divider trend line from three points and interpolate 24 bits."""
+    db = benchmark(_calibrate, synthesizer)
+
+    # the fitted expression reproduces the paper's headline check
+    estimated = db.lookup("div", INTERPOLATION_WIDTH).alut
+    actual = synthesizer.synthesize_operator("div", ScalarType.uint(INTERPOLATION_WIDTH)).alut
+    error = abs(estimated - actual) / actual
+    assert error < 0.03, f"divider interpolation error {error:.1%} exceeds 3%"
+    assert estimated == pytest.approx(654, rel=0.08)
+
+    # and it is genuinely quadratic: refitting the raw points with degree 2
+    # gives a positive leading coefficient of the order of 1 ALUT/bit^2
+    points = [
+        (w, synthesizer.synthesize_operator("div", ScalarType.uint(w)).alut)
+        for w in CALIBRATION_WIDTHS
+    ]
+    poly = fit_polynomial(points, degree=2)
+    assert 0.5 < poly.coefficients[2] < 1.5
+
+    rows = []
+    for width in SWEEP_WIDTHS:
+        est = db.lookup("div", width).alut
+        act = synthesizer.synthesize_operator("div", ScalarType.uint(width)).alut
+        rows.append([width, round(est, 1), act, f"{abs(est - act) / act * 100:.2f}%"])
+    write_result(
+        "fig09_divider_alut",
+        format_table(
+            ["bit-width", "estimated ALUTs", "actual ALUTs", "error"],
+            rows,
+            title="Figure 9 (divider): fitted quadratic vs synthesiser ground truth "
+                  f"(calibrated at {CALIBRATION_WIDTHS})",
+        ),
+    )
+
+
+def test_fig09_multiplier_dsp_steps(benchmark, synthesizer, write_result):
+    """Multiplier DSP usage steps at tile boundaries; ALUT glue stays small."""
+    db = benchmark(_calibrate, synthesizer)
+
+    rows = []
+    for width in SWEEP_WIDTHS:
+        usage_est = db.lookup("mul", width)
+        usage_act = synthesizer.synthesize_operator("mul", ScalarType.uint(width))
+        rows.append([width, round(usage_est.alut, 1), usage_act.alut,
+                     round(usage_est.dsp, 1), usage_act.dsp])
+    write_result(
+        "fig09_multiplier",
+        format_table(
+            ["bit-width", "est ALUTs", "act ALUTs", "est DSPs", "act DSPs"],
+            rows,
+            title="Figure 9 (multiplier): piece-wise-linear ALUT glue and DSP steps",
+        ),
+    )
+
+    # step behaviour with discontinuities at the DSP input width
+    assert db.lookup("mul", 18).dsp == pytest.approx(1, abs=0.3)
+    assert db.lookup("mul", 32).dsp == pytest.approx(2, abs=0.5)
+    assert db.lookup("mul", 64).dsp == pytest.approx(8, abs=1.0)
+    assert db.lookup("mul", 36).dsp < db.lookup("mul", 37).dsp  # a discontinuity
+
+    # the multiplier's ALUT glue is orders of magnitude below the divider's
+    assert db.lookup("mul", 64).alut < db.lookup("div", 64).alut / 20
+
+
+def test_fig09_divider_vs_multiplier_series(benchmark, synthesizer, write_result):
+    """Regenerate the full Figure-9 series (both operators, all widths)."""
+    db = benchmark(_calibrate, synthesizer)
+    rows = [
+        [w, round(db.lookup("div", w).alut, 1), round(db.lookup("mul", w).alut, 1),
+         round(db.lookup("mul", w).dsp, 1)]
+        for w in SWEEP_WIDTHS
+    ]
+    write_result(
+        "fig09_series",
+        format_table(
+            ["bit-width", "div ALUTs", "mul ALUTs", "mul DSPs"],
+            rows,
+            title="Figure 9: cost-expression series for unsigned integer div/mul (Stratix-V)",
+        ),
+    )
+    div = {w: row[1] for w, row in zip(SWEEP_WIDTHS, rows)}
+    mul = {w: row[2] for w, row in zip(SWEEP_WIDTHS, rows)}
+    width_ratio = 64 / 18
+    # the divider curve grows super-linearly (quadratic trend line) ...
+    assert div[64] / div[18] > width_ratio ** 1.5
+    # ... while the multiplier's ALUT glue is piece-wise linear: the midpoint
+    # of the 18..64 segment family lies close to the straight line between the
+    # endpoints, and the glue stays tiny compared with the divider
+    line_mid = mul[18] + (mul[64] - mul[18]) * (40 - 18) / (64 - 18)
+    assert mul[40] == pytest.approx(line_mid, rel=0.3, abs=8)
+    assert mul[64] < div[64] / 20

@@ -1,0 +1,68 @@
+"""Experiment E6 — Figure 18: increase over idle energy, normalised to the CPU.
+
+Using a wall power meter, the paper measures the increase over idle power
+for the CPU-only and CPU+FPGA solutions and reports the delta energy for
+the same runs as Figure 17.  FPGAs overtake the CPU very quickly as the
+grid grows; the TyTra variant reaches up to 11x better energy than the CPU
+and about 2.9x better than the MaxJ baseline.
+
+The reproduction uses the node power model (idle/active CPU, FPGA static +
+resource-dependent dynamic power); the absolute joules are model outputs
+but the orderings and the rough factors are asserted.
+"""
+
+import pytest
+
+from repro.explore import CaseStudyConfig, run_sor_case_study
+
+from .conftest import format_table
+
+GRID_SIDES = (24, 48, 96, 144, 192)
+ITERATIONS = 1000
+
+
+def test_fig18_energy_case_study(benchmark, write_result):
+    points = benchmark.pedantic(
+        run_sor_case_study,
+        args=(GRID_SIDES, CaseStudyConfig(iterations=ITERATIONS, lanes=4)),
+        rounds=1, iterations=1,
+    )
+    by_side = {p.grid_side: p for p in points}
+
+    rows = []
+    for side in GRID_SIDES:
+        p = by_side[side]
+        norm = p.energy_normalised
+        rows.append([
+            side,
+            round(p.cpu_delta_energy_j, 1), round(p.maxj_delta_energy_j, 1),
+            round(p.tytra_delta_energy_j, 1),
+            round(norm["fpga-maxJ"], 3), round(norm["fpga-tytra"], 3),
+            f"{p.tytra_energy_gain_vs_cpu:.2f}x", f"{p.tytra_energy_gain_vs_maxj:.2f}x",
+        ])
+    write_result(
+        "fig18_energy",
+        format_table(
+            ["grid", "cpu (J)", "maxJ (J)", "tytra (J)",
+             "maxJ/cpu", "tytra/cpu", "tytra gain vs cpu", "vs maxJ"],
+            rows,
+            title=f"Figure 18: delta energy for {ITERATIONS} SOR iterations, normalised to the CPU",
+        ),
+    )
+
+    # at the smallest grid the FPGA solutions are not yet ahead
+    assert by_side[24].energy_normalised["fpga-tytra"] > 0.5
+
+    # FPGAs very quickly overtake the CPU as the grid grows
+    assert by_side[48].energy_normalised["fpga-maxJ"] < 1.0
+    assert by_side[48].energy_normalised["fpga-tytra"] < 1.0
+
+    # at large grids: large energy gains, tytra ahead of maxJ
+    big = by_side[192]
+    assert big.tytra_energy_gain_vs_cpu > 5.0        # paper: up to 11x
+    assert big.tytra_energy_gain_vs_maxj > 2.0       # paper: up to 2.9x
+    assert big.energy_normalised["fpga-tytra"] < big.energy_normalised["fpga-maxJ"] < 1.0
+
+    # the energy advantage grows monotonically with grid size
+    gains = [by_side[s].tytra_energy_gain_vs_cpu for s in GRID_SIDES]
+    assert all(b >= a for a, b in zip(gains, gains[1:]))

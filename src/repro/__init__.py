@@ -1,0 +1,41 @@
+"""repro — a reproduction of the TyTra fast and accurate FPGA cost model.
+
+This package reproduces, in pure Python, the system described in
+
+    S. W. Nabi and W. Vanderbauwhede, "A Fast and Accurate Cost Model for
+    FPGA Design Space Exploration in HPC Applications", IPDPSW 2016.
+
+Layering (lower layers never import higher ones)::
+
+    ir <- models <- substrate <- cost <- compiler <- functional <- kernels
+       <- explore <- cli
+
+Sub-packages
+------------
+``repro.ir``
+    The TyTra intermediate representation (Manage-IR + Compute-IR).
+``repro.models``
+    The abstraction models of §III (platform, memory hierarchy, execution,
+    design space, memory-execution forms, streaming patterns).
+``repro.substrate``
+    Simulated hardware substrates standing in for the vendor tools and
+    boards used in the paper (synthesiser, DRAM/PCIe simulator, pipeline
+    simulator, power model, CPU and HLS baselines).
+``repro.cost``
+    The paper's contribution: resource, bandwidth and EKIT throughput cost
+    models, plus calibration.
+``repro.compiler``
+    The TyBEC back-end compiler: analysis, scheduling, costing and HDL
+    code generation.
+``repro.functional``
+    The functional front end: sized vectors, ``map``/``fold`` programs and
+    the ``reshapeTo`` type transformation that generates design variants.
+``repro.kernels``
+    SOR, Hotspot and LavaMD scientific kernels (golden models + IR).
+``repro.explore``
+    Design-space exploration drivers built on the cost model.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,186 @@
+"""``tybec`` — the command-line front end of the reproduction.
+
+Sub-commands mirror the flows of the paper:
+
+``tybec cost DESIGN.tirl``
+    Parse a TyTra-IR design variant, cost it for a workload and print the
+    report (Figure 2's use-case).
+
+``tybec emit DESIGN.tirl -o DIR``
+    Generate the HDL kernel, compute unit, configuration include and the
+    HLS-framework integration glue.
+
+``tybec explore --kernel sor --max-lanes 16``
+    Generate lane variants by type transformation, cost each one and print
+    the Figure-15 style sweep table.
+
+``tybec calibrate --device stratix-v``
+    Run the one-time per-device characterisation and print (or save) the
+    fitted cost database.
+
+``tybec stream-bench``
+    Run the Figure-10 sustained-bandwidth benchmark on the memory
+    simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.compiler import CompilationOptions, TybecCompiler
+from repro.cost import SustainedBandwidthModel, calibrate_device
+from repro.explore import exhaustive_search, generate_lane_variants
+from repro.kernels import ALL_KERNELS, get_kernel
+from repro.models import KernelInstance, NDRange
+from repro.substrate import MemorySystemSimulator, SyntheticSynthesizer, get_device
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tybec",
+        description="TyTra back-end compiler and cost model (paper reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cost = sub.add_parser("cost", help="cost a TyTra-IR design variant")
+    cost.add_argument("design", type=Path, help="path to the .tirl file")
+    cost.add_argument("--device", default="stratix-v")
+    cost.add_argument("--grid", type=int, nargs="+", default=[24, 24, 24],
+                      help="NDRange dimensions of the workload")
+    cost.add_argument("--iterations", type=int, default=1000,
+                      help="kernel-instance repetitions (NKI)")
+    cost.add_argument("--json", action="store_true", help="emit the report as JSON")
+
+    emit = sub.add_parser("emit", help="generate HDL and integration glue")
+    emit.add_argument("design", type=Path)
+    emit.add_argument("-o", "--output", type=Path, default=Path("generated"))
+    emit.add_argument("--device", default="stratix-v")
+    emit.add_argument("--no-wrapper", action="store_true")
+
+    explore = sub.add_parser("explore", help="explore lane variants of a kernel")
+    explore.add_argument("--kernel", choices=sorted(ALL_KERNELS), default="sor")
+    explore.add_argument("--device", default="stratix-v")
+    explore.add_argument("--grid", type=int, nargs="+", default=None)
+    explore.add_argument("--iterations", type=int, default=1000)
+    explore.add_argument("--max-lanes", type=int, default=16)
+    explore.add_argument("--json", action="store_true")
+
+    calibrate = sub.add_parser("calibrate", help="run the one-time device characterisation")
+    calibrate.add_argument("--device", default="stratix-v")
+    calibrate.add_argument("-o", "--output", type=Path, default=None,
+                           help="write the fitted cost database to a JSON file")
+
+    stream = sub.add_parser("stream-bench", help="run the sustained-bandwidth benchmark")
+    stream.add_argument("--device", default="virtex-7")
+    stream.add_argument("--sides", type=int, nargs="+",
+                        default=list(MemorySystemSimulator.DEFAULT_SIDES))
+
+    return parser
+
+
+def _workload_from_args(args, name: str) -> KernelInstance:
+    return KernelInstance(
+        kernel=name,
+        ndrange=NDRange(tuple(args.grid)),
+        repetitions=args.iterations,
+    )
+
+
+def _cmd_cost(args) -> int:
+    compiler = TybecCompiler(CompilationOptions(device=get_device(args.device)))
+    text = args.design.read_text()
+    module = compiler.parse(text, name=args.design.stem)
+    report = compiler.cost(module, _workload_from_args(args, module.name))
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.to_text())
+    return 0
+
+
+def _cmd_emit(args) -> int:
+    compiler = TybecCompiler(CompilationOptions(device=get_device(args.device)))
+    module = compiler.parse(args.design.read_text(), name=args.design.stem)
+    files = compiler.emit_hdl(module, include_wrapper=not args.no_wrapper)
+    args.output.mkdir(parents=True, exist_ok=True)
+    for name, body in files.items():
+        (args.output / name).write_text(body)
+        print(f"wrote {args.output / name}")
+    return 0
+
+
+def _cmd_explore(args) -> int:
+    kernel = get_kernel(args.kernel)
+    grid = tuple(args.grid) if args.grid else kernel.default_grid
+    compiler = TybecCompiler(CompilationOptions(device=get_device(args.device)))
+    variants = generate_lane_variants(kernel, grid=grid, iterations=args.iterations,
+                                      max_lanes=args.max_lanes)
+    result = exhaustive_search(compiler, variants)
+    rows = result.summary_rows()
+    if args.json:
+        print(json.dumps({"rows": rows, "best_lanes": result.best_lanes}, indent=2))
+        return 0
+    header = f"{'lanes':>5} {'EWGT/s':>12} {'ALUT%':>7} {'BRAM%':>7} {'DSP%':>6} {'limiting':>16} {'ok':>3}"
+    print(f"exploring {args.kernel} on {args.device}, grid {grid}, {args.iterations} iterations")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['lanes']:>5} {row['ewgt_per_s']:>12.2f} {row['alut_pct']:>7.2f} "
+            f"{row['bram_pct']:>7.2f} {row['dsp_pct']:>6.2f} {row['limiting_factor']:>16} "
+            f"{'y' if row['feasible'] else 'n':>3}"
+        )
+    print(f"best feasible variant: {result.best_lanes} lane(s); "
+          f"estimation took {result.estimation_seconds:.3f} s for {result.evaluated} variants")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    device = get_device(args.device)
+    synthesizer = SyntheticSynthesizer(device)
+    dataset = synthesizer.characterize()
+    db = calibrate_device(dataset, dsp_input_width=device.dsp_input_width)
+    payload = db.as_dict()
+    if args.output:
+        args.output.write_text(json.dumps(payload, indent=2))
+        print(f"wrote cost database for {device.name} to {args.output}")
+    else:
+        print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_stream_bench(args) -> int:
+    device = get_device(args.device)
+    sim = MemorySystemSimulator(device)
+    model = SustainedBandwidthModel.from_simulator(sim, sides=tuple(args.sides))
+    print(f"sustained bandwidth on {device.name} (peak {model.peak_gbps:.1f} GB/s)")
+    print(f"{'side':>6} {'contiguous GB/s':>16} {'strided GB/s':>14}")
+    for side in args.sides:
+        nbytes = side * side * 4
+        cont = model.sustained_gbps(nbytes)
+        strided = model.sustained_gbps(nbytes, "strided")
+        print(f"{side:>6} {cont:>16.3f} {strided:>14.3f}")
+    return 0
+
+
+_COMMANDS = {
+    "cost": _cmd_cost,
+    "emit": _cmd_emit,
+    "explore": _cmd_explore,
+    "calibrate": _cmd_calibrate,
+    "stream-bench": _cmd_stream_bench,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

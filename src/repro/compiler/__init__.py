@@ -1,0 +1,51 @@
+"""The TyBEC back-end compiler (paper §VI, Figure 11).
+
+The back-end compiler accepts a design variant in TyTra-IR, costs it and,
+if needed, generates HDL code for it.  The estimation flow (the blue
+stages of Figure 11) is:
+
+1. parse memory and stream objects, accumulate their resource estimates;
+2. analyse the function hierarchy and determine the configuration
+   (:mod:`repro.compiler.analysis` — the tree of Figure 8);
+3. parse the functions recursively — SSA instructions, implied offset
+   buffers and counters — and accumulate costs
+   (:mod:`repro.cost.resource_model`);
+4. estimate the throughput for the configuration type
+   (:mod:`repro.cost.throughput`).
+
+The code-generation flow (the yellow stages) schedules the SSA
+instructions, creates data/control delay lines, connects functional units
+into a pipeline (:mod:`repro.compiler.scheduling`) and emits
+synthesizeable HDL plus an HLS-framework wrapper
+(:mod:`repro.compiler.codegen`).
+
+:class:`repro.compiler.driver.TybecCompiler` orchestrates both flows.
+"""
+
+from repro.compiler.analysis import (
+    ConfigurationNode,
+    ConfigurationTree,
+    build_configuration_tree,
+    classify_module,
+)
+from repro.compiler.scheduling import (
+    DataflowGraph,
+    OperatorLatencyModel,
+    ScheduledPipeline,
+    schedule_function,
+)
+from repro.compiler.driver import CompilationOptions, CompiledVariant, TybecCompiler
+
+__all__ = [
+    "ConfigurationNode",
+    "ConfigurationTree",
+    "build_configuration_tree",
+    "classify_module",
+    "DataflowGraph",
+    "OperatorLatencyModel",
+    "ScheduledPipeline",
+    "schedule_function",
+    "CompilationOptions",
+    "CompiledVariant",
+    "TybecCompiler",
+]

@@ -1,0 +1,22 @@
+"""HDL and HLS-framework code generation.
+
+``verilog``
+    Emits synthesizeable Verilog for the scheduled kernel pipelines,
+    offset buffers and the lane-replicated compute unit.
+
+``wrapper``
+    Emits the integration glue the paper describes for the Maxeler flow: a
+    MaxJ-style wrapper kernel for the custom HDL block plus a host-side
+    API stub (Figure 16's division of labour).
+"""
+
+from repro.compiler.codegen.verilog import VerilogGenerator
+from repro.compiler.codegen.wrapper import generate_host_stub, generate_maxj_wrapper
+from repro.compiler.codegen.testbench import generate_testbench
+
+__all__ = [
+    "VerilogGenerator",
+    "generate_maxj_wrapper",
+    "generate_host_stub",
+    "generate_testbench",
+]

@@ -1,0 +1,270 @@
+"""Verilog code generation for scheduled TyTra pipelines.
+
+The generator follows the structure of Figure 11's code-generation flow
+and Figure 13's datapath illustration:
+
+* one Verilog module per leaf ``pipe``/``comb`` function: a streaming
+  datapath with one pipeline register stage per schedule cycle, valid
+  hand-shaking, offset buffers realised as shift registers, and a
+  reduction register for global accumulators;
+* a *compute unit* module instantiating ``KNL`` lanes of the kernel
+  pipeline plus the stream-control address generators;
+* a configuration include file recording the design parameters.
+
+The output is text; it is not synthesised in this reproduction (the
+synthetic synthesiser provides resource ground truth instead), but it is
+structurally complete — every SSA value becomes a wire/register, every
+operator an expression or functional-unit instantiation, every offset a
+delay line of the resolved span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.scheduling import (
+    OperatorLatencyModel,
+    ScheduledPipeline,
+    schedule_module,
+)
+from repro.cost.resource_model import ModuleStructure
+from repro.ir.functions import FunctionKind, IRFunction, Module
+from repro.ir.instructions import Instruction, OperandKind
+
+__all__ = ["VerilogGenerator"]
+
+
+_BINARY_OPERATORS = {
+    "add": "+", "sub": "-", "mul": "*", "div": "/", "udiv": "/", "sdiv": "/",
+    "rem": "%", "urem": "%", "and": "&", "or": "|", "xor": "^",
+    "shl": "<<", "lshr": ">>", "ashr": ">>>",
+    "fadd": "+", "fsub": "-", "fmul": "*", "fdiv": "/",
+}
+
+_COMPARE_OPERATORS = {"icmp": "<", "fcmp": "<"}
+
+
+def _sanitize(name: str) -> str:
+    """Make an SSA name a legal Verilog identifier."""
+    out = name.replace(".", "_")
+    if out and out[0].isdigit():
+        out = "v" + out
+    return out
+
+
+@dataclass
+class VerilogGenerator:
+    """Generate Verilog for a TyTra-IR module."""
+
+    module: Module
+    latency_model: OperatorLatencyModel = field(default_factory=OperatorLatencyModel)
+    schedules: dict[str, ScheduledPipeline] = field(default_factory=dict)
+    structure: ModuleStructure | None = None
+
+    def __post_init__(self) -> None:
+        if not self.schedules:
+            self.schedules = schedule_module(self.module, self.latency_model)
+        if self.structure is None:
+            self.structure = ModuleStructure.from_module(self.module)
+
+    # ------------------------------------------------------------------
+    # Expression rendering
+    # ------------------------------------------------------------------
+    def _operand_text(self, instr: Instruction, index: int) -> str:
+        op = instr.operands[index]
+        width = instr.result_type.width
+        if op.kind is OperandKind.CONST:
+            value = op.value
+            if isinstance(value, float) and not value.is_integer():
+                return f"{width}'d{int(round(value))} /* {value} */"
+            return f"{width}'d{int(value)}"
+        if op.kind is OperandKind.GLOBAL:
+            return f"r_{_sanitize(op.name)}"
+        return f"w_{_sanitize(op.name)}"
+
+    def _instruction_expression(self, instr: Instruction) -> str:
+        opcode = instr.opcode
+        ops = [self._operand_text(instr, i) for i in range(len(instr.operands))]
+        if opcode in _BINARY_OPERATORS:
+            return f"{ops[0]} {_BINARY_OPERATORS[opcode]} {ops[1]}"
+        if opcode in _COMPARE_OPERATORS:
+            return f"({ops[0]} {_COMPARE_OPERATORS[opcode]} {ops[1]}) ? 1'b1 : 1'b0"
+        if opcode == "select":
+            return f"{ops[0]} ? {ops[1]} : {ops[2]}"
+        if opcode == "min":
+            return f"({ops[0]} < {ops[1]}) ? {ops[0]} : {ops[1]}"
+        if opcode == "max":
+            return f"({ops[0]} > {ops[1]}) ? {ops[0]} : {ops[1]}"
+        if opcode == "abs":
+            return f"({ops[0]} < 0) ? -{ops[0]} : {ops[0]}"
+        if opcode == "not":
+            return f"~{ops[0]}"
+        if opcode in ("mov", "trunc", "zext", "sext"):
+            return ops[0]
+        if opcode in ("sqrt", "fsqrt", "fexp", "flog"):
+            return f"fu_{opcode}({ops[0]})  /* functional-unit core */"
+        if opcode == "mac":
+            return f"{ops[0]} * {ops[1]} + {ops[2]}"
+        return " /* unsupported */ " + " , ".join(ops)  # pragma: no cover - defensive
+
+    # ------------------------------------------------------------------
+    # Kernel pipeline module
+    # ------------------------------------------------------------------
+    def generate_kernel(self, func: IRFunction) -> str:
+        """Emit the Verilog module for one leaf datapath function."""
+        schedule = self.schedules.get(func.name)
+        if schedule is None:
+            raise ValueError(f"function @{func.name} has no schedule (is it a leaf datapath?)")
+
+        lines: list[str] = []
+        ports = ["input  wire clk", "input  wire rst", "input  wire in_valid",
+                 "output wire out_valid"]
+        for ty, name in func.args:
+            ports.append(f"input  wire [{ty.width - 1}:0] s_{_sanitize(name)}")
+        out_ports: list[str] = []
+        for port in self.module.port_declarations:
+            if port.function == func.name and port.direction.value == "ostream":
+                out_ports.append(port.port)
+                ports.append(f"output wire [{port.element_type.width - 1}:0] s_{_sanitize(port.port)}")
+        for red in func.reductions():
+            ports.append(f"output reg  [{red.result_type.width - 1}:0] g_{_sanitize(red.result)}")
+
+        lines.append(f"// kernel pipeline for @{func.name} "
+                     f"(depth {schedule.pipeline_depth}, II {schedule.initiation_interval})")
+        lines.append(f"module {_sanitize(func.name)}_kernel (")
+        lines.append("  " + ",\n  ".join(ports))
+        lines.append(");")
+        lines.append("")
+
+        # valid pipeline
+        lines.append(f"  reg [{schedule.pipeline_depth}:0] valid_sr;")
+        lines.append("  always @(posedge clk) begin")
+        lines.append("    if (rst) valid_sr <= 0;")
+        lines.append("    else     valid_sr <= {valid_sr, in_valid};")
+        lines.append("  end")
+        lines.append(f"  assign out_valid = valid_sr[{schedule.pipeline_depth}];")
+        lines.append("")
+
+        # offset buffers (delay lines on the input streams)
+        for off in func.offsets():
+            span = abs(self.module.resolve_offset(off.offset))
+            width = off.result_type.width
+            src = _sanitize(off.source)
+            dst = _sanitize(off.result)
+            lines.append(f"  // offset stream %{off.result} = %{off.source} offset {off.offset}")
+            if span == 0:
+                lines.append(f"  wire [{width - 1}:0] w_{dst} = s_{src};")
+            else:
+                lines.append(f"  reg [{width - 1}:0] offbuf_{dst} [0:{span - 1}];")
+                lines.append("  integer i_" + dst + ";")
+                lines.append("  always @(posedge clk) begin")
+                lines.append(f"    offbuf_{dst}[0] <= s_{src};")
+                lines.append(f"    for (i_{dst} = 1; i_{dst} < {span}; i_{dst} = i_{dst} + 1)")
+                lines.append(f"      offbuf_{dst}[i_{dst}] <= offbuf_{dst}[i_{dst} - 1];")
+                lines.append("  end")
+                lines.append(f"  wire [{width - 1}:0] w_{dst} = offbuf_{dst}[{span - 1}];")
+            lines.append("")
+
+        # argument streams available as wires
+        for ty, name in func.args:
+            lines.append(f"  wire [{ty.width - 1}:0] w_{_sanitize(name)} = s_{_sanitize(name)};")
+        lines.append("")
+
+        # datapath, one register per instruction result
+        for instr in func.instructions():
+            width = instr.result_type.width
+            name = _sanitize(instr.result)
+            expr = self._instruction_expression(instr)
+            stage = schedule.start_cycles.get(instr.result, 0)
+            if instr.is_reduction:
+                lines.append(f"  // reduction @{instr.result} (stage {stage})")
+                lines.append("  always @(posedge clk) begin")
+                lines.append(f"    if (rst) g_{name} <= 0;")
+                lines.append(f"    else if (valid_sr[{min(stage, schedule.pipeline_depth)}]) "
+                             f"g_{name} <= {expr.replace(f'r_{name}', f'g_{name}')};")
+                lines.append("  end")
+            else:
+                lines.append(f"  // %{instr.result} = {instr.opcode} (stage {stage})")
+                lines.append(f"  reg [{width - 1}:0] r_{name};")
+                lines.append(f"  always @(posedge clk) r_{name} <= {expr};")
+                lines.append(f"  wire [{width - 1}:0] w_{name} = r_{name};")
+            lines.append("")
+
+        # output streams
+        for port_name in out_ports:
+            lines.append(f"  assign s_{_sanitize(port_name)} = w_{_sanitize(port_name)};")
+        lines.append("endmodule")
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    # Compute unit and configuration include
+    # ------------------------------------------------------------------
+    def generate_compute_unit(self) -> str:
+        """Emit the lane-replicated compute unit with stream control."""
+        structure = self.structure
+        kernel = structure.kernel_function
+        func = self.module.get_function(kernel)
+        lanes = structure.lanes
+        lines = [
+            f"// compute unit for design {self.module.name!r}: {lanes} lane(s) of @{kernel}",
+            f"module {_sanitize(self.module.name)}_cu (",
+            "  input  wire clk,",
+            "  input  wire rst,",
+            "  input  wire in_valid,",
+            "  output wire out_valid",
+            ");",
+            "",
+        ]
+        for lane in range(lanes):
+            lines.append(f"  // ---- lane {lane} ----")
+            lines.append(f"  wire lane{lane}_out_valid;")
+            args = ", ".join(
+                f".s_{_sanitize(name)}({_sanitize(name)}_lane{lane})" for _, name in func.args
+            )
+            for ty, name in func.args:
+                lines.append(
+                    f"  wire [{ty.width - 1}:0] {_sanitize(name)}_lane{lane}; "
+                    f"// fed by stream control"
+                )
+            lines.append(
+                f"  {_sanitize(kernel)}_kernel lane{lane} (.clk(clk), .rst(rst), "
+                f".in_valid(in_valid), .out_valid(lane{lane}_out_valid)"
+                + (", " + args if args else "")
+                + ");"
+            )
+            lines.append("")
+        valid_terms = " & ".join(f"lane{lane}_out_valid" for lane in range(lanes)) or "in_valid"
+        lines.append(f"  assign out_valid = {valid_terms};")
+        lines.append("endmodule")
+        return "\n".join(lines) + "\n"
+
+    def generate_config_include(self) -> str:
+        """The configuration include file of Figure 11's final stage."""
+        s = self.structure
+        kernel_schedule = self.schedules.get(s.kernel_function)
+        depth = kernel_schedule.pipeline_depth if kernel_schedule else 0
+        lines = [
+            f"// configuration include for {self.module.name}",
+            f"`define TYTRA_DESIGN \"{self.module.name}\"",
+            f"`define TYTRA_LANES {s.lanes}",
+            f"`define TYTRA_KERNEL \"{s.kernel_function}\"",
+            f"`define TYTRA_PIPELINE_DEPTH {depth}",
+            f"`define TYTRA_NI {s.instructions_per_pe}",
+            f"`define TYTRA_NOFF {s.max_offset_span_words}",
+            f"`define TYTRA_NWPT {s.words_per_item}",
+            f"`define TYTRA_STREAMS {s.total_streams}",
+        ]
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    def generate_all(self) -> dict[str, str]:
+        """Emit every output file as a name -> text mapping."""
+        files: dict[str, str] = {}
+        for name, func in self.module.functions.items():
+            if name == self.module.main or not func.is_leaf:
+                continue
+            if func.kind in (FunctionKind.PIPE, FunctionKind.COMB):
+                files[f"{_sanitize(name)}_kernel.v"] = self.generate_kernel(func)
+        files[f"{_sanitize(self.module.name)}_cu.v"] = self.generate_compute_unit()
+        files[f"{_sanitize(self.module.name)}_config.vh"] = self.generate_config_include()
+        return files

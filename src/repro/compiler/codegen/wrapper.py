@@ -1,0 +1,122 @@
+"""HLS-framework integration glue (paper §VII, Figure 16).
+
+The TyTra flow inserts the generated HDL kernel into a commercial HLS
+framework — Maxeler in the paper's case study — which provides the base
+platform (memory controllers, PCIe, drivers) and the host API.  Integrating
+custom HDL with Maxeler requires a wrapper kernel written in its MaxJ
+language; the paper writes these by hand and notes that generating them is
+a trivial engineering task, which is what this module does.
+
+Two artefacts are produced as text:
+
+* a MaxJ-style wrapper kernel declaring the streams and instantiating the
+  custom HDL block;
+* a host-side C stub using a Maxeler-like API (load, queue streams, run).
+"""
+
+from __future__ import annotations
+
+from repro.cost.resource_model import ModuleStructure
+from repro.ir.functions import Module, StreamDirection
+
+__all__ = ["generate_maxj_wrapper", "generate_host_stub"]
+
+
+def _camel(name: str) -> str:
+    return "".join(part.capitalize() for part in name.replace("-", "_").split("_"))
+
+
+def generate_maxj_wrapper(module: Module, structure: ModuleStructure | None = None) -> str:
+    """Generate the MaxJ wrapper kernel for the design's HDL block."""
+    structure = structure or ModuleStructure.from_module(module)
+    kernel = structure.kernel_function
+    func = module.get_function(kernel)
+    class_name = f"{_camel(module.name)}Kernel"
+
+    in_ports = [p for p in module.port_declarations
+                if p.function == kernel and p.direction is StreamDirection.INPUT]
+    out_ports = [p for p in module.port_declarations
+                 if p.function == kernel and p.direction is StreamDirection.OUTPUT]
+    if not in_ports:
+        in_ports_names = [name for _, name in func.args]
+    else:
+        in_ports_names = [p.port for p in in_ports]
+    out_port_names = [p.port for p in out_ports] or ["result"]
+    width = structure.element_width
+
+    lines = [
+        "// Auto-generated MaxJ wrapper for the TyTra HDL kernel.",
+        "// The custom HDL block is attached through Maxeler's custom-HDL node;",
+        "// this wrapper only declares the streams and wires them through.",
+        "package tytra.generated;",
+        "",
+        "import com.maxeler.maxcompiler.v2.kernelcompiler.Kernel;",
+        "import com.maxeler.maxcompiler.v2.kernelcompiler.KernelParameters;",
+        "import com.maxeler.maxcompiler.v2.kernelcompiler.types.base.DFEType;",
+        "import com.maxeler.maxcompiler.v2.kernelcompiler.types.base.DFEVar;",
+        "",
+        f"public class {class_name} extends Kernel {{",
+        "",
+        f"    private static final DFEType elementType = dfeUInt({width});",
+        "",
+        f"    public {class_name}(KernelParameters parameters) {{",
+        "        super(parameters);",
+        "",
+    ]
+    for name in in_ports_names:
+        lines.append(f'        DFEVar {name} = io.input("{name}", elementType);')
+    lines.append("")
+    lines.append(f"        // custom HDL block: {structure.lanes} lane(s) of @{kernel}")
+    lines.append(
+        f'        CustomHDLBlock tytra = new CustomHDLBlock(this, "{module.name}_cu");'
+    )
+    for name in in_ports_names:
+        lines.append(f'        tytra.connectInput("s_{name}", {name});')
+    for name in out_port_names:
+        lines.append(
+            f'        DFEVar {name} = tytra.getOutput("s_{name}", elementType);'
+        )
+        lines.append(f'        io.output("{name}", {name}, elementType);')
+    lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def generate_host_stub(module: Module, structure: ModuleStructure | None = None) -> str:
+    """Generate the host-side C stub that drives the accelerated kernel."""
+    structure = structure or ModuleStructure.from_module(module)
+    kernel = structure.kernel_function
+    func = module.get_function(kernel)
+    in_names = [name for _, name in func.args]
+    lines = [
+        "/* Auto-generated host stub for the TyTra-generated accelerator. */",
+        "#include <stdint.h>",
+        "#include <stdlib.h>",
+        '#include "MaxSLiCInterface.h"',
+        "",
+        f"/* design: {module.name}; kernel: @{kernel}; lanes: {structure.lanes} */",
+        f"void run_{kernel}(",
+        "    size_t n_items,",
+    ]
+    lines.extend(f"    const uint32_t *{name}," for name in in_names)
+    lines.append("    uint32_t *result)")
+    lines.append("{")
+    lines.append(f"    max_file_t *maxfile = {module.name.replace('-', '_')}_init();")
+    lines.append("    max_engine_t *engine = max_load(maxfile, \"*\");")
+    lines.append("    max_actions_t *actions = max_actions_init(maxfile, NULL);")
+    lines.append("")
+    lines.append('    max_set_ticks(actions, "TytraKernel", n_items);')
+    for name in in_names:
+        lines.append(
+            f'    max_queue_input(actions, "{name}", {name}, '
+            "n_items * sizeof(uint32_t));"
+        )
+    lines.append(
+        '    max_queue_output(actions, "result", result, n_items * sizeof(uint32_t));'
+    )
+    lines.append("")
+    lines.append("    max_run(engine, actions);")
+    lines.append("    max_actions_free(actions);")
+    lines.append("    max_unload(engine);")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

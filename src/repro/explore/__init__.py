@@ -1,0 +1,36 @@
+"""Design-space exploration built on the cost model.
+
+This package implements the use-case the paper motivates: generate many
+design variants by type transformations, cost each one in a fraction of a
+second, and select the best feasible design — the guided optimisation
+search of §II, and the variant sweep of Figure 15.
+
+``variants``
+    Generation of lane-count variant families for a kernel.
+``search``
+    Exhaustive and guided (wall-following) searches over variants using
+    the TyBEC compiler's cost reports.
+``roofline``
+    A roofline-style view of variants (operational intensity vs attainable
+    performance), following the paper's pointer to the FPGA roofline
+    extension of da Silva et al.
+"""
+
+from repro.explore.variants import VariantRecord, generate_lane_variants, sweep_lane_counts
+from repro.explore.search import ExplorationResult, exhaustive_search, guided_search
+from repro.explore.roofline import RooflinePoint, roofline_analysis
+from repro.explore.case_study import CaseStudyConfig, CaseStudyPoint, run_sor_case_study
+
+__all__ = [
+    "VariantRecord",
+    "generate_lane_variants",
+    "sweep_lane_counts",
+    "ExplorationResult",
+    "exhaustive_search",
+    "guided_search",
+    "RooflinePoint",
+    "roofline_analysis",
+    "CaseStudyConfig",
+    "CaseStudyPoint",
+    "run_sor_case_study",
+]

@@ -1,0 +1,121 @@
+"""Exploration strategies over variant families.
+
+The cost model's speed (well under a second per variant) makes an
+exhaustive sweep over lane counts practical; the guided search additionally
+uses the *limiting factor* the cost model exposes to stop expanding an axis
+once it stops paying off — the targeted-optimisation loop the paper
+anticipates for its compiler feedback path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.driver import TybecCompiler
+from repro.cost.report import CostReport
+from repro.cost.throughput import LimitingFactor
+from repro.explore.variants import VariantRecord
+
+__all__ = ["ExplorationResult", "exhaustive_search", "guided_search"]
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of exploring a variant family."""
+
+    kernel: str
+    reports: dict[int, CostReport] = field(default_factory=dict)
+    #: lanes of the best feasible variant (None when nothing fits)
+    best_lanes: int | None = None
+    #: total wall-clock seconds spent estimating (all variants together)
+    estimation_seconds: float = 0.0
+    evaluated: int = 0
+
+    @property
+    def best_report(self) -> CostReport | None:
+        if self.best_lanes is None:
+            return None
+        return self.reports[self.best_lanes]
+
+    def feasible_lanes(self) -> list[int]:
+        return sorted(l for l, r in self.reports.items() if r.feasible)
+
+    def summary_rows(self) -> list[dict]:
+        """One row per variant: the data behind a Figure-15 style plot."""
+        rows = []
+        for lanes in sorted(self.reports):
+            report = self.reports[lanes]
+            util = report.utilization
+            rows.append(
+                {
+                    "lanes": lanes,
+                    "ewgt_per_s": report.throughput.ewgt,
+                    "alut_pct": util["alut"] * 100,
+                    "reg_pct": util["reg"] * 100,
+                    "bram_pct": util["bram_bits"] * 100,
+                    "dsp_pct": util["dsp"] * 100,
+                    "limiting_factor": report.limiting_factor.value,
+                    "feasible": report.feasible,
+                }
+            )
+        return rows
+
+
+def _select_best(result: ExplorationResult) -> None:
+    feasible = [(lanes, r) for lanes, r in result.reports.items() if r.feasible]
+    if feasible:
+        result.best_lanes = max(feasible, key=lambda item: item[1].ekit)[0]
+
+
+def exhaustive_search(
+    compiler: TybecCompiler,
+    variants: list[VariantRecord],
+) -> ExplorationResult:
+    """Cost every variant and pick the fastest feasible one."""
+    if not variants:
+        raise ValueError("no variants to explore")
+    result = ExplorationResult(kernel=variants[0].kernel)
+    for variant in variants:
+        report = compiler.cost(variant.module, variant.workload)
+        result.reports[variant.lanes] = report
+        result.estimation_seconds += report.estimation_seconds
+        result.evaluated += 1
+    _select_best(result)
+    return result
+
+
+def guided_search(
+    compiler: TybecCompiler,
+    variants: list[VariantRecord],
+    *,
+    min_gain: float = 1.05,
+) -> ExplorationResult:
+    """Walk lane counts upward until a wall is hit.
+
+    The search evaluates variants in increasing lane order and stops when
+    either (a) the variant no longer fits the device (the computation
+    wall), or (b) throughput improves by less than ``min_gain`` over the
+    previous variant while the limiting factor is a communication wall —
+    adding lanes cannot help a bandwidth-bound design.
+    """
+    if not variants:
+        raise ValueError("no variants to explore")
+    ordered = sorted(variants, key=lambda v: v.lanes)
+    result = ExplorationResult(kernel=ordered[0].kernel)
+    previous_ekit = 0.0
+    for variant in ordered:
+        report = compiler.cost(variant.module, variant.workload)
+        result.reports[variant.lanes] = report
+        result.estimation_seconds += report.estimation_seconds
+        result.evaluated += 1
+        if not report.feasibility.fits_resources:
+            break  # computation wall
+        bandwidth_bound = report.limiting_factor in (
+            LimitingFactor.HOST_BANDWIDTH,
+            LimitingFactor.DRAM_BANDWIDTH,
+        )
+        if previous_ekit > 0 and report.ekit < previous_ekit * min_gain and bandwidth_bound:
+            break  # communication wall: wider designs stop paying off
+        previous_ekit = report.ekit
+    _select_best(result)
+    return result

@@ -1,0 +1,120 @@
+"""Lowering functional programs to TyTra-IR design variants.
+
+This is the translation step between the front end of Figure 1 ("apply
+type transformations to generate program variants") and the back-end
+compiler ("TyTra-IR variant-N"): a :class:`~repro.functional.program.Program`
+whose maps are decorated with parallelism keywords becomes a TyTra-IR
+module in which
+
+* the elemental kernel's datapath is a ``pipe`` function whose body is
+  built by the kernel's :class:`~repro.functional.program.KernelSpec`
+  (including its declared stream offsets);
+* ``L`` lanes (from a ``map^par`` over a ``reshapeTo L``) become a ``par``
+  wrapper calling the pipeline ``L`` times, with per-lane stream objects
+  connecting each lane to the memory objects (exactly the structure of the
+  paper's Figure 14);
+* Manage-IR memory objects are created for every named input/output array.
+"""
+
+from __future__ import annotations
+
+from repro.functional.program import KernelSpec, Parallelism, Program
+from repro.ir.builder import IRBuilder
+from repro.ir.functions import Module
+
+__all__ = ["lower_program"]
+
+
+def _declare_streams(fb, kernel: KernelSpec) -> dict[str, str]:
+    """Declare offsets and return the logical-stream -> SSA-name mapping."""
+    streams: dict[str, str] = {name: name for name in kernel.inputs}
+    for source, offsets in kernel.offsets.items():
+        if source not in kernel.inputs:
+            raise ValueError(
+                f"kernel {kernel.name!r}: offsets declared on unknown input {source!r}"
+            )
+        for offset in offsets:
+            logical = kernel.offset_stream_name(source, offset)
+            suffix = str(offset).replace("-", "n").replace("+", "p").replace("*", "x")
+            result = fb.offset(source, offset, kernel.element_type,
+                               result=f"{source}_{suffix}")
+            streams[logical] = result
+    return streams
+
+
+def lower_program(
+    program: Program,
+    grid: tuple[int, ...] | None = None,
+    name: str | None = None,
+) -> Module:
+    """Lower a (possibly transformed) program to a TyTra-IR module."""
+    kernel = program.kernel()
+    input_node = program.input()
+    lanes = program.lanes()
+    total = input_node.size
+    if total % max(lanes, 1) != 0:
+        raise ValueError(f"{lanes} lanes do not divide the input size {total}")
+
+    design_name = name or program.name
+    builder = IRBuilder(design_name)
+
+    # module constants: kernel constants plus the grid dimensions
+    for cname, cvalue in kernel.constants.items():
+        builder.constant(cname, cvalue)
+    if grid is not None:
+        for i, dim in enumerate(grid, start=1):
+            builder.constant(f"ND{i}", dim)
+
+    # Manage-IR: one memory object per named array, one stream object per lane
+    for array in kernel.inputs:
+        builder.memory_object(f"mobj_{array}", kernel.element_type, size=total,
+                              addr_space=1, label=array)
+    for array in kernel.outputs:
+        builder.memory_object(f"mobj_{array}", kernel.element_type, size=total,
+                              addr_space=1, label=array)
+    for lane in range(lanes):
+        for array in kernel.inputs:
+            builder.stream_object(f"strobj_{array}{lane}", f"mobj_{array}",
+                                  direction="istream")
+        for array in kernel.outputs:
+            builder.stream_object(f"strobj_{array}{lane}", f"mobj_{array}",
+                                  direction="ostream")
+
+    # Compute-IR: the kernel pipeline
+    kernel_fn = f"{kernel.name}_pe"
+    fb = builder.function(
+        kernel_fn, kind="pipe",
+        args=[(kernel.element_type, name_) for name_ in kernel.inputs],
+    )
+    streams = _declare_streams(fb, kernel)
+    kernel.build_datapath(fb, streams)
+
+    # port declarations bind the kernel pipeline's streams (lane 0's objects
+    # stand for the pattern; each additional lane replicates it)
+    for array in kernel.inputs:
+        builder.port(kernel_fn, array, kernel.element_type, direction="istream",
+                     stream_object=f"strobj_{array}0")
+    for array in kernel.outputs:
+        builder.port(kernel_fn, array, kernel.element_type, direction="ostream",
+                     stream_object=f"strobj_{array}0")
+
+    main = None
+    if lanes > 1:
+        wrapper = builder.function(
+            f"{kernel.name}_lanes", kind="par",
+            args=[(kernel.element_type, name_) for name_ in kernel.inputs],
+        )
+        for _ in range(lanes):
+            wrapper.call(kernel_fn, kernel.inputs, kind="pipe")
+        main = builder.function("main", kind="none")
+        main.call(f"{kernel.name}_lanes", kernel.inputs, kind="par")
+    else:
+        main = builder.function("main", kind="none")
+        main.call(kernel_fn, kernel.inputs, kind="pipe")
+
+    # sanity: the decoration chain must match what we lowered
+    chain = program.parallelism_chain()
+    if lanes > 1 and Parallelism.PAR not in chain:
+        raise ValueError("multi-lane program without a par-decorated map")
+
+    return builder.build()

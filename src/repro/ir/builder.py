@@ -1,0 +1,264 @@
+"""Programmatic construction of TyTra-IR modules.
+
+The :class:`IRBuilder` is the API used by the functional front end
+(:mod:`repro.functional.lower`) and the kernel library (:mod:`repro.kernels`)
+to build design variants without going through the textual ``.tirl`` form.
+
+Example
+-------
+>>> from repro.ir import IRBuilder, ScalarType
+>>> b = IRBuilder("saxpy")
+>>> ui32 = ScalarType.uint(32)
+>>> mem = b.memory_object("mobj_x", ui32, size=1024)
+>>> stream = b.stream_object("strobj_x", mem, direction="istream")
+>>> f = b.function("f0", kind="pipe", args=[(ui32, "x"), (ui32, "a")])
+>>> t = f.instr("mul", ui32, f.arg("x"), f.arg("a"))
+>>> _ = f.instr("add", ui32, t, 3, result="y")
+>>> b.port("f0", "x", ui32, direction="istream", stream_object="strobj_x")
+>>> main = b.function("main", kind="none")
+>>> main.call("f0", ["x", "a"], kind="pipe")
+>>> module = b.build()
+>>> module.get_function("f0").instruction_count()
+2
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.errors import IRValidationError
+from repro.ir.functions import (
+    AccessPatternKind,
+    FunctionKind,
+    IRFunction,
+    MemoryObject,
+    Module,
+    PortDeclaration,
+    StreamDirection,
+    StreamObject,
+)
+from repro.ir.instructions import (
+    CallInstruction,
+    Instruction,
+    OffsetInstruction,
+    Operand,
+)
+from repro.ir.types import ScalarType
+
+__all__ = ["IRBuilder", "FunctionBuilder"]
+
+
+class FunctionBuilder:
+    """Builds the body of a single IR function.
+
+    SSA result names can be given explicitly or are auto-generated
+    (``%1``, ``%2``, ...).  Operands may be given as strings (``"x"`` or
+    ``"%x"``), :class:`Operand` objects, previously returned result names,
+    or Python numbers (becoming constant operands).
+    """
+
+    def __init__(self, builder: "IRBuilder", function: IRFunction):
+        self._builder = builder
+        self.function = function
+        self._counter = 0
+
+    # -- naming helpers -------------------------------------------------
+    def _next_name(self) -> str:
+        self._counter += 1
+        return str(self._counter)
+
+    def arg(self, name: str) -> str:
+        """Reference an argument by name (checked)."""
+        name = name.lstrip("%")
+        if name not in self.function.arg_names:
+            raise IRValidationError(
+                f"{name!r} is not an argument of @{self.function.name}",
+                function=self.function.name,
+            )
+        return name
+
+    @staticmethod
+    def _as_operand(value) -> Operand:
+        if isinstance(value, Operand):
+            return value
+        if isinstance(value, (int, float)):
+            return Operand.const(value)
+        if isinstance(value, str):
+            if value.startswith("@"):
+                return Operand.global_(value)
+            return Operand.ssa(value)
+        raise IRValidationError(f"cannot interpret operand {value!r}")
+
+    # -- statement constructors ------------------------------------------
+    def instr(
+        self,
+        opcode: str,
+        result_type: ScalarType,
+        *operands,
+        result: str | None = None,
+    ) -> str:
+        """Append a datapath instruction and return the result name."""
+        name = (result or self._next_name()).lstrip("%@")
+        is_global = bool(result) and result.startswith("@")
+        inst = Instruction(
+            result=name,
+            result_type=result_type,
+            opcode=opcode,
+            operands=[self._as_operand(o) for o in operands],
+            result_is_global=is_global,
+        )
+        self.function.body.append(inst)
+        return name
+
+    def reduction(self, opcode: str, result_type: ScalarType, global_name: str, value) -> str:
+        """Append a reduction onto a global accumulator.
+
+        ``@g = opcode value, @g`` — the canonical pattern for the SOR error
+        accumulator in Figure 12, line 15.
+        """
+        global_name = global_name.lstrip("@")
+        inst = Instruction(
+            result=global_name,
+            result_type=result_type,
+            opcode=opcode,
+            operands=[self._as_operand(value), Operand.global_(global_name)],
+            result_is_global=True,
+        )
+        self.function.body.append(inst)
+        return global_name
+
+    def offset(
+        self,
+        source: str,
+        offset: int | str,
+        result_type: ScalarType,
+        result: str | None = None,
+    ) -> str:
+        """Append a stream-offset declaration and return the new stream name."""
+        name = (result or f"{source.lstrip('%')}_off{self._next_name()}").lstrip("%")
+        self.function.body.append(
+            OffsetInstruction(
+                result=name,
+                result_type=result_type,
+                source=source,
+                offset=offset,
+            )
+        )
+        return name
+
+    def call(self, callee: str, args: Sequence[str] = (), kind: str | None = None) -> None:
+        """Append a call to a child function."""
+        self.function.body.append(
+            CallInstruction(callee=callee, args=list(args), kind=kind)
+        )
+
+    # -- conveniences -----------------------------------------------------
+    def mul(self, result_type: ScalarType, a, b, result: str | None = None) -> str:
+        return self.instr("mul", result_type, a, b, result=result)
+
+    def add(self, result_type: ScalarType, a, b, result: str | None = None) -> str:
+        return self.instr("add", result_type, a, b, result=result)
+
+    def sub(self, result_type: ScalarType, a, b, result: str | None = None) -> str:
+        return self.instr("sub", result_type, a, b, result=result)
+
+    def div(self, result_type: ScalarType, a, b, result: str | None = None) -> str:
+        return self.instr("div", result_type, a, b, result=result)
+
+
+class IRBuilder:
+    """Top-level builder producing a :class:`repro.ir.Module`."""
+
+    def __init__(self, name: str = "design"):
+        self.module = Module(name=name)
+
+    # -- constants --------------------------------------------------------
+    def constant(self, name: str, value: int) -> None:
+        """Define a named module constant (used in symbolic stream offsets)."""
+        self.module.constants[name] = int(value)
+
+    def constants(self, **kwargs: int) -> None:
+        for name, value in kwargs.items():
+            self.constant(name, value)
+
+    # -- Manage-IR ---------------------------------------------------------
+    def memory_object(
+        self,
+        name: str,
+        element_type: ScalarType,
+        size: int,
+        addr_space: int = 1,
+        label: str | None = None,
+    ) -> MemoryObject:
+        return self.module.add_memory_object(
+            MemoryObject(
+                name=name,
+                element_type=element_type,
+                size=size,
+                addr_space=addr_space,
+                label=label,
+            )
+        )
+
+    def stream_object(
+        self,
+        name: str,
+        memory: MemoryObject | str,
+        direction: str | StreamDirection = StreamDirection.INPUT,
+        pattern: str | AccessPatternKind = AccessPatternKind.CONTIGUOUS,
+        stride: int = 1,
+    ) -> StreamObject:
+        mem_name = memory.name if isinstance(memory, MemoryObject) else memory
+        return self.module.add_stream_object(
+            StreamObject(
+                name=name,
+                memory=mem_name,
+                direction=direction,
+                pattern=pattern,
+                stride=stride,
+            )
+        )
+
+    def port(
+        self,
+        function: str,
+        port: str,
+        element_type: ScalarType,
+        direction: str | StreamDirection = StreamDirection.INPUT,
+        pattern: str | AccessPatternKind = AccessPatternKind.CONTIGUOUS,
+        base_offset: int = 0,
+        stream_object: str | None = None,
+        addr_space: int = 1,
+    ) -> PortDeclaration:
+        return self.module.add_port_declaration(
+            PortDeclaration(
+                function=function,
+                port=port,
+                element_type=element_type,
+                direction=direction,
+                pattern=pattern,
+                base_offset=base_offset,
+                stream_object=stream_object,
+                addr_space=addr_space,
+            )
+        )
+
+    # -- Compute-IR ---------------------------------------------------------
+    def function(
+        self,
+        name: str,
+        kind: str | FunctionKind = FunctionKind.PIPE,
+        args: Sequence[tuple[ScalarType, str]] = (),
+    ) -> FunctionBuilder:
+        func = IRFunction(name=name, kind=kind, args=list(args))
+        self.module.add_function(func)
+        return FunctionBuilder(self, func)
+
+    # -- finalisation --------------------------------------------------------
+    def build(self, validate: bool = True) -> Module:
+        """Return the constructed module, optionally validating it."""
+        if validate:
+            from repro.ir.validator import validate_module
+
+            validate_module(self.module)
+        return self.module

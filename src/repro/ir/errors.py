@@ -1,0 +1,33 @@
+"""Exception hierarchy for the TyTra-IR package."""
+
+
+class IRError(Exception):
+    """Base class for all TyTra-IR related errors."""
+
+
+class IRParseError(IRError):
+    """Raised when ``.tirl`` text cannot be parsed.
+
+    Carries the line number (1-based) where the problem was detected so the
+    compiler driver can point the user at the offending IR line.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class IRTypeError(IRError):
+    """Raised when a type string or a type combination is invalid."""
+
+
+class IRValidationError(IRError):
+    """Raised by the validator for structural or SSA violations."""
+
+    def __init__(self, message: str, *, function: str | None = None):
+        self.function = function
+        if function is not None:
+            message = f"in function @{function}: {message}"
+        super().__init__(message)

@@ -1,0 +1,184 @@
+"""Structural, SSA and type validation of TyTra-IR modules.
+
+The validator enforces the rules the paper's compiler assumes when costing
+a design:
+
+* a ``main`` entry exists and only instantiates the hierarchy (calls);
+* every called function is defined and the call graph is acyclic;
+* ``comb`` functions are pure single-cycle datapaths (no calls, no offsets);
+* ``par`` and ``seq`` functions only compose children (no datapath
+  instructions) — they express the design-space axes, not computation;
+* SSA discipline: every value is defined exactly once, every non-constant
+  operand refers to an argument, an earlier definition in the same
+  function, or a global accumulator;
+* stream offsets only apply to function arguments (input streams);
+* symbolic offsets only reference declared module constants;
+* Manage-IR cross references (ports -> stream objects -> memory objects)
+  resolve.
+"""
+
+from __future__ import annotations
+
+from repro.ir.errors import IRValidationError
+from repro.ir.functions import FunctionKind, IRFunction, Module, StreamDirection
+from repro.ir.instructions import CallInstruction, Instruction, OffsetInstruction
+
+__all__ = ["validate_module", "validate_function"]
+
+
+def validate_function(func: IRFunction, module: Module | None = None) -> None:
+    """Validate a single function; ``module`` enables cross-references."""
+    name = func.name
+
+    if func.kind is FunctionKind.COMB:
+        if func.calls():
+            raise IRValidationError("comb functions may not contain calls", function=name)
+        if func.offsets():
+            raise IRValidationError(
+                "comb functions may not declare stream offsets", function=name
+            )
+
+    if func.kind in (FunctionKind.PAR, FunctionKind.SEQ):
+        if func.instructions():
+            raise IRValidationError(
+                f"{func.kind} functions may only compose child functions "
+                "(no datapath instructions)",
+                function=name,
+            )
+        if not func.calls():
+            raise IRValidationError(
+                f"{func.kind} functions must call at least one child", function=name
+            )
+
+    # ---- SSA discipline -------------------------------------------------
+    defined: set[str] = set(func.arg_names)
+    globals_written: set[str] = set()
+    for stmt in func.body:
+        if isinstance(stmt, OffsetInstruction):
+            if stmt.source not in func.arg_names:
+                raise IRValidationError(
+                    f"offset source %{stmt.source} must be a function argument (an "
+                    "input stream)",
+                    function=name,
+                )
+            if stmt.result in defined:
+                raise IRValidationError(
+                    f"%{stmt.result} defined more than once", function=name
+                )
+            src_type = func.arg_types[stmt.source]
+            if src_type != stmt.result_type:
+                raise IRValidationError(
+                    f"offset %{stmt.result}: type {stmt.result_type} does not match "
+                    f"source stream type {src_type}",
+                    function=name,
+                )
+            if isinstance(stmt.offset, str) and module is not None:
+                # will raise IRTypeError for unresolvable symbols
+                module.resolve_offset(stmt.offset)
+            defined.add(stmt.result)
+        elif isinstance(stmt, Instruction):
+            arity = stmt.info.arity
+            if len(stmt.operands) != arity:
+                raise IRValidationError(
+                    f"opcode {stmt.opcode!r} expects {arity} operands, got "
+                    f"{len(stmt.operands)}",
+                    function=name,
+                )
+            for op in stmt.operands:
+                if op.is_ssa and op.name not in defined:
+                    raise IRValidationError(
+                        f"use of undefined value %{op.name} in {stmt!s}", function=name
+                    )
+            if stmt.result_is_global:
+                globals_written.add(stmt.result)
+            else:
+                if stmt.result in defined:
+                    raise IRValidationError(
+                        f"%{stmt.result} defined more than once", function=name
+                    )
+                defined.add(stmt.result)
+        elif isinstance(stmt, CallInstruction):
+            if module is not None and not module.has_function(stmt.callee):
+                raise IRValidationError(
+                    f"call to undefined function @{stmt.callee}", function=name
+                )
+        else:  # pragma: no cover - defensive
+            raise IRValidationError(f"unknown statement {stmt!r}", function=name)
+
+
+def _check_call_graph_acyclic(module: Module) -> None:
+    graph = module.call_graph()
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {n: WHITE for n in graph}
+
+    def visit(node: str, stack: list[str]) -> None:
+        colour[node] = GREY
+        for child in graph.get(node, []):
+            if child not in colour:
+                continue  # undefined callee reported elsewhere
+            if colour[child] == GREY:
+                cycle = " -> ".join(stack + [node, child])
+                raise IRValidationError(f"recursive call cycle detected: {cycle}")
+            if colour[child] == WHITE:
+                visit(child, stack + [node])
+        colour[node] = BLACK
+
+    for node in graph:
+        if colour[node] == WHITE:
+            visit(node, [])
+
+
+def validate_module(module: Module) -> None:
+    """Validate a complete module, raising :class:`IRValidationError` on failure."""
+    if not module.functions:
+        raise IRValidationError("module contains no functions")
+    if module.main not in module.functions:
+        raise IRValidationError(f"module has no @{module.main} entry function")
+
+    entry = module.entry
+    if entry.instructions():
+        raise IRValidationError(
+            "the entry function may only instantiate the hierarchy (calls only)",
+            function=entry.name,
+        )
+    if not entry.calls():
+        raise IRValidationError("the entry function must call at least one function",
+                                function=entry.name)
+
+    for func in module.functions.values():
+        validate_function(func, module)
+
+    _check_call_graph_acyclic(module)
+
+    # ---- Manage-IR cross references -------------------------------------
+    for stream in module.stream_objects.values():
+        if stream.memory not in module.memory_objects:
+            raise IRValidationError(
+                f"stream object %{stream.name} references unknown memory object "
+                f"%{stream.memory}"
+            )
+    for port in module.port_declarations:
+        if not module.has_function(port.function):
+            raise IRValidationError(
+                f"port declaration @{port.qualified_name} references unknown function"
+            )
+        func = module.get_function(port.function)
+        if port.direction is StreamDirection.INPUT:
+            if port.port not in func.arg_names:
+                raise IRValidationError(
+                    f"port declaration @{port.qualified_name}: function has no argument "
+                    f"%{port.port}"
+                )
+        else:
+            # output ports may be bound to an argument or to a value produced
+            # by the function's datapath (e.g. the new pressure stream of SOR)
+            if port.port not in func.defined_names():
+                raise IRValidationError(
+                    f"port declaration @{port.qualified_name}: function defines no value "
+                    f"%{port.port} to stream out"
+                )
+        if port.stream_object and port.stream_object not in module.stream_objects:
+            raise IRValidationError(
+                f"port declaration @{port.qualified_name} references unknown stream "
+                f"object %{port.stream_object}"
+            )

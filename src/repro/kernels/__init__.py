@@ -1,0 +1,48 @@
+"""Scientific kernels used in the paper's evaluation.
+
+Three HPC kernels exercise the cost model (Table II) and the case study
+(Figures 15, 17 and 18):
+
+* :mod:`repro.kernels.sor` — the successive over-relaxation kernel from
+  the Large Eddy Simulator weather model, an iterative Poisson solver
+  whose main computation is a 7-point stencil plus a global reduction;
+* :mod:`repro.kernels.hotspot` — the Hotspot benchmark from the Rodinia
+  suite, a 2-D thermal simulation of a processor floorplan;
+* :mod:`repro.kernels.lavamd` — the LavaMD molecular-dynamics kernel from
+  Rodinia, computing particle potentials from pairwise interactions.
+
+Each kernel provides a NumPy reference implementation, the gathered-tuple
+view used by the functional front end, a :class:`KernelSpec` describing
+its streaming datapath, constructors for TyTra-IR design variants, and the
+workload/characterisation records the baselines and cost model need.
+"""
+
+from repro.kernels.base import KernelWorkload, ScientificKernel
+from repro.kernels.sor import SORKernel
+from repro.kernels.hotspot import HotspotKernel
+from repro.kernels.lavamd import LavaMDKernel
+
+ALL_KERNELS = {
+    "sor": SORKernel,
+    "hotspot": HotspotKernel,
+    "lavamd": LavaMDKernel,
+}
+
+
+def get_kernel(name: str) -> ScientificKernel:
+    """Instantiate a kernel by name (``sor``, ``hotspot`` or ``lavamd``)."""
+    try:
+        return ALL_KERNELS[name.lower()]()
+    except KeyError as exc:
+        raise KeyError(f"unknown kernel {name!r}; available: {sorted(ALL_KERNELS)}") from exc
+
+
+__all__ = [
+    "ScientificKernel",
+    "KernelWorkload",
+    "SORKernel",
+    "HotspotKernel",
+    "LavaMDKernel",
+    "ALL_KERNELS",
+    "get_kernel",
+]

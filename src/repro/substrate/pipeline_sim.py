@@ -1,0 +1,292 @@
+"""Cycle-accurate simulator of TyTra streaming pipelines.
+
+The paper validates its throughput estimates against the cycles-per-
+kernel-instance measured on the actual FPGA (Table II).  Here the ground
+truth comes from simulating the very pipeline the back-end compiler
+schedules: offset-buffer priming, pipeline fill, steady-state streaming
+(possibly stalled by the memory system) and drain.
+
+Two execution modes are provided:
+
+* an **analytic** mode that computes the cycle count in closed form — fast
+  enough to sweep large NDRanges;
+* a **cycle-stepping** mode that advances a token-level model one cycle at
+  a time — used to cross-validate the analytic mode on small runs (the
+  two must agree within one pipeline depth).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.substrate.memory_sim import MemorySystemSimulator
+
+__all__ = ["PipelineSpec", "SimulationResult", "PipelineSimulator"]
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Architectural summary of a compiled compute unit.
+
+    Attributes
+    ----------
+    name:
+        For reporting.
+    lanes:
+        Number of replicated kernel pipelines (``KNL``).
+    vectorization:
+        Degree of vectorisation per lane (``DV``).
+    pipeline_depth:
+        Depth of one lane in cycles (``KPD``).
+    instructions:
+        Datapath instructions per processing element (``NI``).
+    cycles_per_instruction:
+        ``NTO``; 1 for a fully pipelined spatial datapath.
+    offset_fill_words:
+        Words that must be buffered before the first work-item can enter
+        the datapath (``Noff`` — the maximum stream offset span).
+    input_words_per_item / output_words_per_item:
+        Stream words consumed / produced per work-item per lane.
+    element_bytes:
+        Size of one stream word.
+    clock_mhz:
+        Kernel clock (``FD``).
+    """
+
+    name: str = "pipeline"
+    lanes: int = 1
+    vectorization: int = 1
+    pipeline_depth: int = 1
+    instructions: int = 1
+    cycles_per_instruction: int = 1
+    offset_fill_words: int = 0
+    input_words_per_item: int = 1
+    output_words_per_item: int = 1
+    element_bytes: int = 4
+    clock_mhz: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.lanes < 1 or self.vectorization < 1:
+            raise ValueError("lanes and vectorization must be >= 1")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+        if self.cycles_per_instruction < 1:
+            raise ValueError("cycles_per_instruction must be >= 1")
+        if self.clock_mhz <= 0:
+            raise ValueError("clock_mhz must be positive")
+
+    @property
+    def words_per_item(self) -> int:
+        return self.input_words_per_item + self.output_words_per_item
+
+    @property
+    def ideal_items_per_cycle(self) -> float:
+        """Work-items retired per cycle with no memory stalls."""
+        issue_interval = max(1, self.cycles_per_instruction)
+        if issue_interval == 1:
+            return float(self.lanes * self.vectorization)
+        # time-multiplexed functional units: one item per NI*NTO cycles per lane
+        return self.lanes * self.vectorization / (issue_interval * max(1, self.instructions))
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_mhz * 1e6
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of simulating one kernel-instance execution."""
+
+    spec_name: str
+    items: int
+    cycles: int
+    seconds: float
+    stall_cycles: int
+    fill_cycles: int
+    items_per_cycle: float
+    cycles_per_item: float
+    limited_by: str  # 'compute' or 'memory'
+
+    @property
+    def cycles_per_kernel_instance(self) -> int:
+        """CPKI — the quantity reported in Table II."""
+        return self.cycles
+
+    def as_dict(self) -> dict:
+        return {
+            "spec": self.spec_name,
+            "items": self.items,
+            "cycles": self.cycles,
+            "seconds": self.seconds,
+            "stall_cycles": self.stall_cycles,
+            "fill_cycles": self.fill_cycles,
+            "items_per_cycle": self.items_per_cycle,
+            "cycles_per_item": self.cycles_per_item,
+            "limited_by": self.limited_by,
+        }
+
+
+class PipelineSimulator:
+    """Simulate kernel-instance executions of a compiled pipeline."""
+
+    def __init__(self, memory: MemorySystemSimulator | None = None):
+        self.memory = memory
+
+    # ------------------------------------------------------------------
+    def _memory_words_per_cycle(self, spec: PipelineSpec, memory_gbps: float | None) -> float:
+        """Stream words the memory system can deliver per kernel cycle."""
+        if memory_gbps is None:
+            if self.memory is None:
+                return math.inf
+            memory_gbps = self.memory.dram.effective_peak_gbps
+        bytes_per_cycle = memory_gbps * 1e9 / spec.clock_hz
+        return bytes_per_cycle / spec.element_bytes
+
+    # ------------------------------------------------------------------
+    def run_kernel_instance(
+        self,
+        spec: PipelineSpec,
+        n_items: int,
+        memory_gbps: float | None = None,
+        *,
+        cycle_accurate: bool = False,
+    ) -> SimulationResult:
+        """Execute one kernel instance of ``n_items`` work-items."""
+        if n_items <= 0:
+            raise ValueError("n_items must be positive")
+        if cycle_accurate:
+            return self._run_cycle_accurate(spec, n_items, memory_gbps)
+        return self._run_analytic(spec, n_items, memory_gbps)
+
+    # -- analytic mode ----------------------------------------------------
+    def _run_analytic(
+        self, spec: PipelineSpec, n_items: int, memory_gbps: float | None
+    ) -> SimulationResult:
+        words_per_cycle = self._memory_words_per_cycle(spec, memory_gbps)
+
+        # 1. prime the offset buffers
+        if spec.offset_fill_words > 0:
+            fill_rate = min(words_per_cycle, float(spec.lanes * spec.vectorization))
+            fill_cycles = math.ceil(spec.offset_fill_words / max(fill_rate, 1e-12))
+        else:
+            fill_cycles = 0
+
+        # 2. fill the pipeline
+        fill_cycles += spec.pipeline_depth
+
+        # 3. steady state: compute rate vs memory rate
+        compute_rate = spec.ideal_items_per_cycle
+        memory_rate = words_per_cycle / spec.words_per_item if spec.words_per_item else math.inf
+        effective_rate = min(compute_rate, memory_rate)
+        steady_cycles = math.ceil(n_items / effective_rate)
+        ideal_cycles = math.ceil(n_items / compute_rate)
+
+        total = fill_cycles + steady_cycles
+        stalls = steady_cycles - ideal_cycles
+        seconds = total / spec.clock_hz
+        return SimulationResult(
+            spec_name=spec.name,
+            items=n_items,
+            cycles=total,
+            seconds=seconds,
+            stall_cycles=max(0, stalls),
+            fill_cycles=fill_cycles,
+            items_per_cycle=n_items / total,
+            cycles_per_item=total / n_items,
+            limited_by="memory" if memory_rate < compute_rate else "compute",
+        )
+
+    # -- cycle-stepping mode ------------------------------------------------
+    def _run_cycle_accurate(
+        self, spec: PipelineSpec, n_items: int, memory_gbps: float | None
+    ) -> SimulationResult:
+        words_per_cycle = self._memory_words_per_cycle(spec, memory_gbps)
+        issue_interval = (
+            1
+            if spec.cycles_per_instruction == 1
+            else spec.cycles_per_instruction * max(1, spec.instructions)
+        )
+        lanes = spec.lanes * spec.vectorization
+
+        cycles = 0
+        stalls = 0
+        word_credit = 0.0
+        buffered_words = 0
+        issued = 0
+        retired = 0
+        fill_cycles = 0
+        # each in-flight item retires pipeline_depth cycles after issue
+        retire_queue: list[int] = []
+        offset_target = spec.offset_fill_words
+        next_issue_cycle = 0
+
+        # hard safety bound so a mis-configured spec cannot loop forever
+        max_cycles = 1000 * (n_items + spec.pipeline_depth + offset_target + 1)
+
+        while retired < n_items and cycles < max_cycles:
+            word_credit += words_per_cycle
+
+            # priming phase: fill offset buffers before the first issue
+            if buffered_words < offset_target:
+                take = min(word_credit, offset_target - buffered_words, float(lanes))
+                buffered_words += take
+                word_credit -= take
+                cycles += 1
+                fill_cycles += 1
+                continue
+
+            # issue up to `lanes` items this cycle, each consuming its words
+            issued_this_cycle = 0
+            while (
+                issued < n_items
+                and issued_this_cycle < lanes
+                and cycles >= next_issue_cycle
+                and word_credit >= spec.words_per_item
+            ):
+                word_credit -= spec.words_per_item
+                retire_queue.append(cycles + spec.pipeline_depth)
+                issued += 1
+                issued_this_cycle += 1
+            if issue_interval > 1 and issued_this_cycle:
+                next_issue_cycle = cycles + issue_interval
+
+            if issued_this_cycle == 0 and issued < n_items and cycles >= next_issue_cycle:
+                stalls += 1
+
+            while retire_queue and retire_queue[0] <= cycles:
+                retire_queue.pop(0)
+                retired += 1
+
+            cycles += 1
+
+        seconds = cycles / spec.clock_hz
+        compute_rate = spec.ideal_items_per_cycle
+        memory_rate = (
+            words_per_cycle / spec.words_per_item if spec.words_per_item else math.inf
+        )
+        return SimulationResult(
+            spec_name=spec.name,
+            items=n_items,
+            cycles=cycles,
+            seconds=seconds,
+            stall_cycles=stalls,
+            fill_cycles=fill_cycles + spec.pipeline_depth,
+            items_per_cycle=n_items / cycles,
+            cycles_per_item=cycles / n_items,
+            limited_by="memory" if memory_rate < compute_rate else "compute",
+        )
+
+    # ------------------------------------------------------------------
+    def run_application(
+        self,
+        spec: PipelineSpec,
+        n_items: int,
+        repetitions: int,
+        memory_gbps: float | None = None,
+        per_instance_overhead_s: float = 0.0,
+    ) -> tuple[float, SimulationResult]:
+        """Run ``repetitions`` kernel instances and return (total seconds, one result)."""
+        result = self.run_kernel_instance(spec, n_items, memory_gbps)
+        total = repetitions * (result.seconds + per_instance_overhead_s)
+        return total, result

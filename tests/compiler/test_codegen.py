@@ -1,0 +1,107 @@
+"""Tests for the Verilog and HLS-wrapper code generators."""
+
+import re
+
+import pytest
+
+from repro.compiler.codegen import VerilogGenerator, generate_host_stub, generate_maxj_wrapper
+from repro.ir import IRBuilder, ScalarType
+
+from tests.conftest import build_stencil_module
+
+UI18 = ScalarType.uint(18)
+
+
+@pytest.fixture
+def generator(stencil_module):
+    return VerilogGenerator(stencil_module)
+
+
+class TestVerilogKernel:
+    def test_kernel_module_structure(self, generator, stencil_module):
+        text = generator.generate_kernel(stencil_module.get_function("f0"))
+        assert "module f0_kernel (" in text
+        assert "endmodule" in text
+        assert text.count("module ") == 1
+        # ports for both input streams
+        assert "input  wire [17:0] s_p" in text
+        assert "input  wire [17:0] s_rhs" in text
+        # output stream port (declared via an ostream port declaration)
+        assert "output wire [17:0] s_p_new" in text
+        # reduction register output
+        assert "output reg  [17:0] g_errAcc" in text
+
+    def test_offset_buffers_emitted(self, generator, stencil_module):
+        text = generator.generate_kernel(stencil_module.get_function("f0"))
+        # the ND1*ND2 = 64-deep offset buffer becomes a delay line
+        assert "offbuf_pkn1 [0:63]" in text
+        assert "offbuf_pip1 [0:0]" in text
+
+    def test_datapath_expressions(self, generator, stencil_module):
+        text = generator.generate_kernel(stencil_module.get_function("f0"))
+        assert re.search(r"r_v1 <= w_pip1 \* 18'd3", text)
+        assert re.search(r"r_p_new <= w_\w+ - w_p", text)
+
+    def test_valid_shift_register_matches_depth(self, generator, stencil_module):
+        depth = generator.schedules["f0"].pipeline_depth
+        text = generator.generate_kernel(stencil_module.get_function("f0"))
+        assert f"assign out_valid = valid_sr[{depth}];" in text
+
+    def test_unscheduled_function_rejected(self, generator, stencil_module):
+        with pytest.raises(ValueError):
+            generator.generate_kernel(stencil_module.get_function("main"))
+
+    def test_balanced_identifier_sanitisation(self):
+        b = IRBuilder("weird.name")
+        f = b.function("f0", kind="pipe", args=[(UI18, "x")])
+        f.add(UI18, f.arg("x"), 1, result="1")
+        main = b.function("main", kind="none")
+        main.call("f0", ["x"], kind="pipe")
+        module = b.build()
+        gen = VerilogGenerator(module)
+        text = gen.generate_kernel(module.get_function("f0"))
+        assert "r_v1" in text  # numeric SSA names get a 'v' prefix
+
+
+class TestComputeUnitAndConfig:
+    def test_compute_unit_replicates_lanes(self):
+        module = build_stencil_module(lanes=4)
+        gen = VerilogGenerator(module)
+        text = gen.generate_compute_unit()
+        assert text.count("f0_kernel lane") == 4
+        assert "lane3_out_valid" in text
+
+    def test_config_include(self, generator):
+        text = generator.generate_config_include()
+        assert "`define TYTRA_LANES 1" in text
+        assert "`define TYTRA_NOFF 64" in text
+        assert "`define TYTRA_NI 6" in text
+
+    def test_generate_all_files(self):
+        module = build_stencil_module(lanes=2)
+        files = VerilogGenerator(module).generate_all()
+        assert any(name.endswith("_kernel.v") for name in files)
+        assert any(name.endswith("_cu.v") for name in files)
+        assert any(name.endswith("_config.vh") for name in files)
+        assert all(isinstance(body, str) and body for body in files.values())
+
+
+class TestWrappers:
+    def test_maxj_wrapper(self, stencil_module):
+        text = generate_maxj_wrapper(stencil_module)
+        assert "extends Kernel" in text
+        assert 'io.input("p", elementType)' in text
+        assert 'io.input("rhs", elementType)' in text
+        assert "dfeUInt(18)" in text
+        assert "CustomHDLBlock" in text
+
+    def test_host_stub(self, stencil_module):
+        text = generate_host_stub(stencil_module)
+        assert "max_run(engine, actions);" in text
+        assert "run_f0(" in text
+        assert 'max_queue_input(actions, "p"' in text
+
+    def test_wrapper_for_multilane(self):
+        module = build_stencil_module(lanes=4)
+        text = generate_maxj_wrapper(module)
+        assert "4 lane(s)" in text

@@ -1,0 +1,53 @@
+"""Tests for the Verilog testbench generator."""
+
+import pytest
+
+from repro.compiler.codegen.testbench import generate_testbench
+from repro.kernels import SORKernel
+
+from tests.conftest import build_stencil_module
+
+
+class TestTestbenchGeneration:
+    def test_basic_structure(self, stencil_module):
+        tb = generate_testbench(stencil_module, n_items=128)
+        assert "`timescale" in tb
+        assert "module tb_f0;" in tb
+        assert "f0_kernel dut (" in tb
+        assert ".s_p(s_p)" in tb and ".s_rhs(s_rhs)" in tb
+        assert ".g_errAcc(g_errAcc)" in tb
+        assert "$finish;" in tb
+        assert tb.count("endmodule") == 1
+
+    def test_run_length_includes_pipeline_drain(self, stencil_module):
+        tb = generate_testbench(stencil_module, n_items=100)
+        # the termination count must exceed the number of items (drain margin)
+        assert "cycle == 1" not in tb.split("$finish")[0].splitlines()[-1]
+        assert "if (cycle == " in tb
+        count = int(tb.split("if (cycle == ")[1].split(")")[0])
+        assert count > 100
+
+    def test_memh_stimulus_mode(self, stencil_module):
+        tb = generate_testbench(stencil_module, n_items=64, use_memh=True)
+        assert '$readmemh("p.memh", mem_p);' in tb
+        assert "mem_rhs[cycle % 64]" in tb
+
+    def test_explicit_function_selection(self):
+        module = SORKernel().build_module(lanes=4, grid=(16, 16, 16))
+        tb = generate_testbench(module, function_name="sor_pe", n_items=32)
+        assert "module tb_sor_pe;" in tb
+        assert ".s_p_new(s_p_new)" in tb
+
+    def test_default_picks_largest_leaf(self):
+        module = SORKernel().build_module(lanes=2, grid=(8, 8, 8))
+        tb = generate_testbench(module)
+        assert "sor_pe_kernel dut" in tb
+
+    def test_invalid_items(self, stencil_module):
+        with pytest.raises(ValueError):
+            generate_testbench(stencil_module, n_items=0)
+
+    def test_output_logging_present(self, stencil_module):
+        tb = generate_testbench(stencil_module)
+        assert "$display(\"cycle %0d: p_new=%0d\"" in tb
+        assert 'reduction errAcc' in tb

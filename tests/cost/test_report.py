@@ -1,0 +1,99 @@
+"""Tests for the cost report and feasibility checks."""
+
+import pytest
+
+from repro.cost.report import CostReport, FeasibilityCheck
+from repro.cost.resource_model import ModuleResourceEstimate
+from repro.cost.throughput import EKITParameters, LimitingFactor, ekit_form_b
+from repro.substrate import MAIA_STRATIX_V_GSD8, ResourceUsage
+
+
+def make_feasibility(**overrides):
+    defaults = dict(
+        fits_resources=True,
+        limiting_resource="alut",
+        limiting_resource_utilization=0.4,
+        required_dram_gbps=2.0,
+        available_dram_gbps=10.0,
+        required_host_gbps=0.5,
+        available_host_gbps=3.0,
+    )
+    defaults.update(overrides)
+    return FeasibilityCheck(**defaults)
+
+
+def make_report(**feas_overrides):
+    params = EKITParameters(
+        hpb_gbps=4.0, rho_h=0.8, gpb_gbps=38.4, rho_g=0.6,
+        ngs=13824, nwpt=3, nki=1000, noff=576, kpd=20, fd_mhz=200.0,
+        nto=1 / (16 * 3), ni=16, knl=2, dv=1,
+    )
+    throughput = ekit_form_b(params)
+    resources = ModuleResourceEstimate(
+        design="sor_l2",
+        total=ResourceUsage(alut=1200, reg=3600, bram_bits=41000, dsp=0),
+    )
+    return CostReport(
+        design="sor_l2",
+        device=MAIA_STRATIX_V_GSD8,
+        resources=resources,
+        throughput=throughput,
+        feasibility=make_feasibility(**feas_overrides),
+        estimation_seconds=0.002,
+        notes=["memory-execution form B: fits in DRAM"],
+    )
+
+
+class TestFeasibilityCheck:
+    def test_feasible_when_everything_fits(self):
+        check = make_feasibility()
+        assert check.fits_bandwidth
+        assert check.feasible
+
+    def test_infeasible_on_resources(self):
+        check = make_feasibility(fits_resources=False, limiting_resource_utilization=1.4)
+        assert not check.feasible
+        assert check.fits_bandwidth
+
+    def test_infeasible_on_dram_bandwidth(self):
+        check = make_feasibility(required_dram_gbps=25.0)
+        assert not check.fits_bandwidth
+        assert not check.feasible
+
+    def test_infeasible_on_host_bandwidth(self):
+        check = make_feasibility(required_host_gbps=9.0)
+        assert not check.feasible
+
+    def test_as_dict(self):
+        d = make_feasibility().as_dict()
+        assert d["feasible"] is True
+        assert d["limiting_resource"] == "alut"
+
+
+class TestCostReport:
+    def test_convenience_views(self):
+        report = make_report()
+        assert report.usage.alut == 1200
+        assert 0 < report.utilization["alut"] < 0.01
+        assert report.ekit == report.throughput.ekit
+        assert isinstance(report.limiting_factor, LimitingFactor)
+        assert report.feasible
+
+    def test_to_text_contains_key_sections(self):
+        text = make_report().to_text()
+        for fragment in ("Cost report", "ALUTs", "DSP blocks", "kernel-instances/s",
+                         "limiting factor", "time breakdown", "Feasibility", "Notes"):
+            assert fragment in text
+
+    def test_to_text_infeasible_variant(self):
+        text = make_report(fits_resources=False).to_text()
+        assert "feasible       : False" in text
+
+    def test_as_dict_roundtrips_key_fields(self):
+        d = make_report().as_dict()
+        assert d["design"] == "sor_l2"
+        assert d["device"] == MAIA_STRATIX_V_GSD8.name
+        assert d["throughput"]["form"] == "B"
+        assert d["estimation_seconds"] == pytest.approx(0.002)
+        assert d["feasibility"]["feasible"] is True
+        assert d["notes"]

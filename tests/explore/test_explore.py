@@ -1,0 +1,139 @@
+"""Tests for variant generation, search strategies, roofline and the case study."""
+
+import pytest
+
+from repro.compiler import CompilationOptions, TybecCompiler
+from repro.explore import (
+    CaseStudyConfig,
+    exhaustive_search,
+    generate_lane_variants,
+    guided_search,
+    roofline_analysis,
+    run_sor_case_study,
+    sweep_lane_counts,
+)
+from repro.kernels import SORKernel, get_kernel
+from repro.substrate import MAIA_STRATIX_V_GSD8, SMALL_EDU_DEVICE
+
+
+GRID = (8, 8, 8)
+
+
+@pytest.fixture(scope="module")
+def compiler():
+    return TybecCompiler(CompilationOptions(device=MAIA_STRATIX_V_GSD8))
+
+
+@pytest.fixture(scope="module")
+def variants():
+    return generate_lane_variants(SORKernel(), grid=GRID, iterations=50, max_lanes=8)
+
+
+class TestVariantGeneration:
+    def test_sweep_lane_counts_divisors_only(self):
+        counts = sweep_lane_counts(SORKernel(), grid=GRID, max_lanes=6)
+        assert counts == [1, 2, 4]  # 512 is divisible by 1,2,4 but not 3,5,6... wait 512%4==0
+
+    def test_sweep_with_explicit_counts(self):
+        counts = sweep_lane_counts(SORKernel(), grid=GRID, lane_counts=[1, 3, 4, 16])
+        assert counts == [1, 4, 16]
+
+    def test_generate_variants(self, variants):
+        assert [v.lanes for v in variants] == [1, 2, 4, 8]
+        for v in variants:
+            assert v.module.has_function("sor_pe")
+            assert v.workload.repetitions == 50
+            assert v.name.endswith(f"l{v.lanes}")
+
+
+class TestSearch:
+    def test_exhaustive_search_finds_best(self, compiler, variants):
+        result = exhaustive_search(compiler, variants)
+        assert result.evaluated == len(variants)
+        assert result.best_lanes in {v.lanes for v in variants}
+        assert result.best_report is not None
+        assert result.best_report.feasible
+        # on a large device with generous bandwidth, widening never hurts:
+        # the best variant is at least as fast as the single-lane baseline
+        assert result.reports[result.best_lanes].ekit >= result.reports[1].ekit
+        assert result.best_lanes >= 1
+        assert result.estimation_seconds < 5.0
+
+    def test_summary_rows(self, compiler, variants):
+        result = exhaustive_search(compiler, variants)
+        rows = result.summary_rows()
+        assert len(rows) == len(variants)
+        assert rows[0]["lanes"] == 1
+        assert all(row["ewgt_per_s"] > 0 for row in rows)
+        # resource utilisation grows with lanes
+        assert rows[-1]["alut_pct"] > rows[0]["alut_pct"]
+
+    def test_exhaustive_requires_variants(self, compiler):
+        with pytest.raises(ValueError):
+            exhaustive_search(compiler, [])
+
+    def test_guided_search_stops_at_computation_wall(self, variants):
+        tiny = TybecCompiler(CompilationOptions(device=SMALL_EDU_DEVICE))
+        result = guided_search(tiny, variants)
+        # the small device cannot fit many lanes, so the search stops early
+        assert result.evaluated <= len(variants)
+        infeasible = [l for l, r in result.reports.items() if not r.feasibility.fits_resources]
+        if infeasible:
+            assert max(result.reports) == min(infeasible)
+
+    def test_guided_search_matches_exhaustive_best_on_big_device(self, compiler, variants):
+        guided = guided_search(compiler, variants)
+        exhaustive = exhaustive_search(compiler, variants)
+        assert guided.best_lanes == exhaustive.best_lanes
+
+
+class TestRoofline:
+    def test_roofline_points(self, compiler, variants):
+        result = exhaustive_search(compiler, variants)
+        points = roofline_analysis(result.reports, ops_per_item=SORKernel.ops_per_item)
+        assert len(points) == len(variants)
+        for point in points:
+            assert point.operational_intensity > 0
+            assert point.attainable_gops > 0
+            assert point.attainable_gops <= max(point.compute_roof_gops,
+                                                point.bandwidth_roof_gops) * 1.01
+            assert point.bound in ("compute", "memory")
+        # compute roof scales with lanes
+        assert points[-1].compute_roof_gops > points[0].compute_roof_gops
+        assert points[0].as_dict()["lanes"] == 1
+
+
+class TestCaseStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_sor_case_study(grid_sides=(24, 96, 192),
+                                  config=CaseStudyConfig(iterations=100))
+
+    def test_case_study_shape_runtime(self, points):
+        by_side = {p.grid_side: p for p in points}
+        # at the smallest grid the FPGA overheads dominate: tytra is not the winner
+        assert by_side[24].tytra_speedup_vs_cpu < 1.5
+        # at large grids tytra wins clearly over both cpu and maxJ
+        assert by_side[192].tytra_speedup_vs_cpu > 1.5
+        assert by_side[192].tytra_speedup_vs_maxj > 2.0
+        # the straightforward HLS port stays slower than the CPU (the paper's
+        # observation about unexplored parallelism)
+        assert by_side[192].maxj_seconds > by_side[192].cpu_seconds
+
+    def test_case_study_shape_energy(self, points):
+        big = max(points, key=lambda p: p.grid_side)
+        assert big.tytra_energy_gain_vs_cpu > 3.0
+        assert big.tytra_energy_gain_vs_maxj > 1.5
+        norm = big.energy_normalised
+        assert norm["fpga-tytra"] < norm["fpga-maxJ"]
+        assert norm["cpu"] == 1.0
+
+    def test_runtime_scales_with_grid(self, points):
+        ordered = sorted(points, key=lambda p: p.grid_side)
+        assert ordered[-1].cpu_seconds > ordered[0].cpu_seconds
+        assert ordered[-1].tytra_seconds > ordered[0].tytra_seconds
+
+    def test_as_dict(self, points):
+        d = points[0].as_dict()
+        assert d["grid_side"] == 24
+        assert "runtime_normalised" in d

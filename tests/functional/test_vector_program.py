@@ -1,0 +1,151 @@
+"""Tests for sized vectors and the functional program DSL."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functional import Input, KernelSpec, Map, Parallelism, Program, Reshape, Vect
+from repro.functional.program import TupleValue
+from repro.ir import ScalarType
+
+UI32 = ScalarType.uint(32)
+
+
+def make_saxpy_kernel():
+    """A trivially simple elemental kernel: y = 3*x + b."""
+
+    def golden(components):
+        return {"y": 3 * components["x"] + components["b"]}
+
+    def build(fb, streams):
+        t = fb.mul(UI32, streams["x"], 3)
+        fb.add(UI32, t, streams["b"], result="y")
+
+    return KernelSpec(
+        name="saxpy",
+        element_type=UI32,
+        inputs=["x", "b"],
+        outputs=["y"],
+        golden=golden,
+        build_datapath=build,
+        ops_per_item=2,
+    )
+
+
+class TestVect:
+    def test_construction_and_size(self):
+        v = Vect.of(np.arange(12))
+        assert v.size == 12
+        assert v.shape == (12,)
+        assert v.ndim == 1
+
+    def test_reshape_preserves_order_and_size(self):
+        v = Vect.of(np.arange(12))
+        r = v.reshape_to(3)
+        assert r.shape == (3, 4)
+        assert r.size == 12
+        assert np.array_equal(r.nested()[1], [4, 5, 6, 7])
+        assert np.array_equal(r.flatten().data, v.data)
+
+    def test_reshape_invalid(self):
+        v = Vect.of(np.arange(10))
+        with pytest.raises(ValueError):
+            v.reshape_to(3)
+        with pytest.raises(ValueError):
+            v.reshape_to(0)
+
+    def test_rows(self):
+        v = Vect.of(np.arange(8)).reshape_to(2)
+        rows = v.rows()
+        assert len(rows) == 2
+        assert np.array_equal(rows[1].data, [4, 5, 6, 7])
+
+    def test_map(self):
+        v = Vect.of(np.arange(4))
+        doubled = v.map(lambda x: 2 * x)
+        assert np.array_equal(doubled.data, [0, 2, 4, 6])
+        assert doubled.shape == v.shape
+
+    def test_map_non_vectorised_function(self):
+        v = Vect.of(np.arange(4))
+        out = v.map(lambda x: int(x) + 1 if np.isscalar(x) or x.ndim == 0 else (_ for _ in ()).throw(TypeError()))
+        assert np.array_equal(out.data, [1, 2, 3, 4])
+
+    def test_equality(self):
+        assert Vect.of([1, 2, 3]) == Vect.of([1, 2, 3])
+        assert Vect.of([1, 2, 3]) != Vect.of([1, 2, 3]).reshape_to(3)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            Vect(np.arange(4), (5,))
+        with pytest.raises(ValueError):
+            Vect(np.arange(4), ())
+
+    @given(
+        n_divisor=st.sampled_from([(12, 3), (100, 10), (64, 8), (30, 5), (7, 7)]),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_reshape_roundtrip_property(self, n_divisor, seed):
+        n, d = n_divisor
+        rng = np.random.default_rng(seed)
+        v = Vect.of(rng.integers(0, 100, n))
+        assert np.array_equal(v.reshape_to(d).flatten().data, v.data)
+
+
+class TestTupleValue:
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            TupleValue({"a": Vect.of([1, 2]), "b": Vect.of([1, 2, 3])})
+
+    def test_reshape_and_rows(self):
+        t = TupleValue({"a": Vect.of(np.arange(6)), "b": Vect.of(np.arange(6) * 10)})
+        r = t.reshape_to(2)
+        rows = r.rows()
+        assert len(rows) == 2
+        assert np.array_equal(rows[1].flat()["b"], [30, 40, 50])
+
+
+class TestProgram:
+    def test_baseline_evaluation(self):
+        kernel = make_saxpy_kernel()
+        program = Program.baseline(kernel, size=8)
+        x = np.arange(8)
+        b = np.full(8, 5)
+        out = program.evaluate({"x": x, "b": b})
+        assert np.array_equal(out["y"], 3 * x + 5)
+
+    def test_kernel_and_input_accessors(self):
+        kernel = make_saxpy_kernel()
+        program = Program.baseline(kernel, size=8)
+        assert program.kernel() is kernel
+        assert program.input().size == 8
+        assert program.lanes() == 1
+        assert program.parallelism_chain() == [Parallelism.PIPE]
+
+    def test_input_size_checked(self):
+        kernel = make_saxpy_kernel()
+        program = Program.baseline(kernel, size=8)
+        with pytest.raises(ValueError):
+            program.evaluate({"x": np.arange(4), "b": np.arange(4)})
+
+    def test_nested_map_rowwise(self):
+        kernel = make_saxpy_kernel()
+        reshaped = Reshape(Input("pps", 8), 2)
+        program = Program(Map(kernel, reshaped, Parallelism.PAR, nesting=2))
+        x = np.arange(8)
+        b = np.zeros(8, dtype=int)
+        out = program.evaluate({"x": x, "b": b})
+        assert np.array_equal(out["y"], 3 * x)
+        assert program.lanes() == 2
+
+    def test_golden_validation(self):
+        kernel = make_saxpy_kernel()
+        with pytest.raises(ValueError, match="missing input"):
+            kernel.apply_golden({"x": np.arange(4)})
+        with pytest.raises(ValueError, match="differ in size"):
+            kernel.apply_golden({"x": np.arange(4), "b": np.arange(5)})
+
+    def test_words_per_item(self):
+        assert make_saxpy_kernel().words_per_item == 3

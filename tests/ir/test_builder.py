@@ -1,0 +1,143 @@
+"""Tests for the programmatic IR builder."""
+
+import pytest
+
+from repro.ir import IRBuilder, IRValidationError, ScalarType
+from repro.ir.functions import FunctionKind, StreamDirection
+
+UI18 = ScalarType.uint(18)
+UI32 = ScalarType.uint(32)
+
+
+def build_minimal():
+    b = IRBuilder("mini")
+    f = b.function("f0", kind="pipe", args=[(UI32, "x"), (UI32, "a")])
+    t = f.mul(UI32, f.arg("x"), f.arg("a"))
+    f.add(UI32, t, 3, result="y")
+    main = b.function("main", kind="none")
+    main.call("f0", ["x", "a"], kind="pipe")
+    return b
+
+
+class TestFunctionBuilder:
+    def test_auto_names_are_unique(self):
+        b = IRBuilder()
+        f = b.function("f0", args=[(UI32, "x")])
+        names = {f.add(UI32, f.arg("x"), i) for i in range(10)}
+        assert len(names) == 10
+
+    def test_arg_check(self):
+        b = IRBuilder()
+        f = b.function("f0", args=[(UI32, "x")])
+        assert f.arg("x") == "x"
+        assert f.arg("%x") == "x"
+        with pytest.raises(IRValidationError):
+            f.arg("nope")
+
+    def test_explicit_result_name(self):
+        b = IRBuilder()
+        f = b.function("f0", args=[(UI32, "x")])
+        name = f.add(UI32, f.arg("x"), 1, result="%out")
+        assert name == "out"
+
+    def test_constant_operand(self):
+        b = IRBuilder()
+        f = b.function("f0", args=[(UI32, "x")])
+        f.instr("mul", UI32, "x", 7)
+        inst = b.module.get_function("f0").instructions()[0]
+        assert inst.constant_operands[0].value == 7
+
+    def test_reduction(self):
+        b = IRBuilder()
+        f = b.function("f0", args=[(UI18, "x")])
+        f.reduction("add", UI18, "@acc", f.arg("x"))
+        inst = b.module.get_function("f0").instructions()[0]
+        assert inst.is_reduction
+        assert inst.result == "acc"
+
+    def test_offset_builder(self):
+        b = IRBuilder()
+        f = b.function("f0", args=[(UI18, "p")])
+        name = f.offset("p", -3, UI18)
+        offs = b.module.get_function("f0").offsets()
+        assert len(offs) == 1
+        assert offs[0].result == name
+        assert offs[0].offset == -3
+
+    def test_bad_operand_type(self):
+        b = IRBuilder()
+        f = b.function("f0", args=[(UI32, "x")])
+        with pytest.raises(IRValidationError):
+            f.instr("add", UI32, object(), 1)
+
+
+class TestIRBuilder:
+    def test_build_valid_module(self):
+        module = build_minimal().build()
+        assert module.has_function("f0")
+        assert module.entry.name == "main"
+        assert module.get_function("f0").instruction_count() == 2
+
+    def test_duplicate_function_rejected(self):
+        b = IRBuilder()
+        b.function("f0")
+        with pytest.raises(IRValidationError):
+            b.function("f0")
+
+    def test_duplicate_memory_object_rejected(self):
+        b = IRBuilder()
+        b.memory_object("m", UI32, 16)
+        with pytest.raises(IRValidationError):
+            b.memory_object("m", UI32, 16)
+
+    def test_constants(self):
+        b = IRBuilder()
+        b.constants(ND1=24, ND2=24)
+        b.constant("ND3", 48)
+        assert b.module.constants == {"ND1": 24, "ND2": 24, "ND3": 48}
+
+    def test_memory_and_stream_objects(self):
+        b = build_minimal()
+        mem = b.memory_object("mobj_x", UI32, size=1024, label="x")
+        stream = b.stream_object("strobj_x", mem, direction="istream")
+        b.port("f0", "x", UI32, direction="istream", stream_object="strobj_x")
+        module = b.build()
+        assert module.memory_objects["mobj_x"].size_bytes == 4096
+        assert module.stream_objects["strobj_x"].memory == "mobj_x"
+        assert module.stream_objects["strobj_x"].direction is StreamDirection.INPUT
+        assert module.port_declarations[0].qualified_name == "f0.x"
+
+    def test_build_without_validation_allows_broken(self):
+        b = IRBuilder()
+        f = b.function("f0", kind="pipe", args=[(UI32, "x")])
+        f.add(UI32, "undefined_value", 1)
+        # no main: invalid, but allowed when validate=False
+        module = b.build(validate=False)
+        assert module.has_function("f0")
+
+    def test_build_with_validation_rejects_broken(self):
+        b = IRBuilder()
+        f = b.function("f0", kind="pipe", args=[(UI32, "x")])
+        f.add(UI32, "undefined_value", 1)
+        with pytest.raises(IRValidationError):
+            b.build()
+
+
+class TestStencilFixture:
+    def test_fixture_builds(self, stencil_module):
+        assert stencil_module.has_function("f0")
+        f0 = stencil_module.get_function("f0")
+        assert f0.kind is FunctionKind.PIPE
+        assert len(f0.offsets()) == 2
+        assert f0.instruction_count() == 6
+
+    def test_fixture_4lane(self, stencil_module_4lane):
+        f1 = stencil_module_4lane.get_function("f1")
+        assert f1.kind is FunctionKind.PAR
+        assert len(f1.calls()) == 4
+
+    def test_symbolic_offset_resolution(self, stencil_module):
+        f0 = stencil_module.get_function("f0")
+        offsets = [stencil_module.resolve_offset(o.offset) for o in f0.offsets()]
+        assert +1 in offsets
+        assert -64 in offsets  # ND1*ND2 = 8*8

@@ -1,0 +1,163 @@
+"""Tests for SSA statements and the opcode registry."""
+
+import pytest
+
+from repro.ir import (
+    OPCODES,
+    CallInstruction,
+    Instruction,
+    IRTypeError,
+    OffsetInstruction,
+    Operand,
+    ScalarType,
+    opcode_info,
+)
+from repro.ir.instructions import OperandKind, iter_ssa_uses
+
+UI18 = ScalarType.uint(18)
+
+
+class TestOperand:
+    def test_ssa(self):
+        op = Operand.ssa("%x")
+        assert op.kind is OperandKind.SSA
+        assert op.name == "x"
+        assert str(op) == "%x"
+        assert op.is_ssa and not op.is_const and not op.is_global
+
+    def test_global(self):
+        op = Operand.global_("@acc")
+        assert op.is_global
+        assert op.name == "acc"
+        assert str(op) == "@acc"
+
+    def test_const(self):
+        op = Operand.const(42)
+        assert op.is_const
+        assert op.value == 42
+
+    def test_named_requires_name(self):
+        with pytest.raises(IRTypeError):
+            Operand(OperandKind.SSA)
+
+    def test_const_requires_value(self):
+        with pytest.raises(IRTypeError):
+            Operand(OperandKind.CONST)
+
+
+class TestOpcodeRegistry:
+    def test_known_opcodes_present(self):
+        for name in ["add", "sub", "mul", "div", "fadd", "fmul", "icmp", "select", "shl"]:
+            assert name in OPCODES
+
+    def test_categories(self):
+        assert OPCODES["mul"].category == "mul"
+        assert OPCODES["div"].category == "div"
+        assert OPCODES["add"].category == "add"
+        assert OPCODES["shl"].category == "shift"
+
+    def test_dsp_eligibility(self):
+        assert OPCODES["mul"].dsp_eligible
+        assert OPCODES["fmul"].dsp_eligible
+        assert not OPCODES["add"].dsp_eligible
+        assert not OPCODES["div"].dsp_eligible
+
+    def test_latencies_positive(self):
+        for info in OPCODES.values():
+            assert info.latency >= 0
+
+    def test_select_is_ternary(self):
+        assert OPCODES["select"].arity == 3
+
+    def test_unknown_opcode(self):
+        with pytest.raises(IRTypeError):
+            opcode_info("frobnicate")
+
+
+class TestInstruction:
+    def test_basic(self):
+        inst = Instruction("1", UI18, "mul", [Operand.ssa("a"), Operand.ssa("b")])
+        assert inst.result == "1"
+        assert inst.info.category == "mul"
+        assert inst.input_names == ["a", "b"]
+        assert not inst.is_reduction
+        assert inst.uses("a") and not inst.uses("z")
+
+    def test_strips_sigils(self):
+        inst = Instruction("%x", UI18, "add", [Operand.ssa("a"), Operand.const(1)])
+        assert inst.result == "x"
+
+    def test_reduction_flag(self):
+        inst = Instruction(
+            "acc", UI18, "add", [Operand.ssa("x"), Operand.global_("acc")],
+            result_is_global=True,
+        )
+        assert inst.is_reduction
+        assert "@acc" in str(inst)
+
+    def test_constant_operands(self):
+        inst = Instruction("1", UI18, "mul", [Operand.ssa("a"), Operand.const(3)])
+        assert len(inst.constant_operands) == 1
+        assert inst.input_names == ["a"]
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(IRTypeError):
+            Instruction("1", UI18, "bogus", [Operand.ssa("a"), Operand.ssa("b")])
+
+
+class TestOffsetInstruction:
+    def test_integer_offset(self):
+        off = OffsetInstruction("pip1", UI18, "p", +1)
+        assert not off.is_symbolic
+        assert off.resolved({}) == 1
+        assert "!offset" in str(off)
+        assert "+1" in str(off)
+
+    def test_negative_offset(self):
+        off = OffsetInstruction("pkn1", UI18, "p", -576)
+        assert off.resolved({}) == -576
+
+    def test_symbolic_offset(self):
+        off = OffsetInstruction("pkn1", UI18, "p", "-ND1*ND2")
+        assert off.is_symbolic
+        assert off.resolved({"ND1": 24, "ND2": 24}) == -576
+
+    def test_symbolic_offset_unknown_symbol(self):
+        off = OffsetInstruction("x", UI18, "p", "-FOO*2")
+        with pytest.raises(IRTypeError):
+            off.resolved({"ND1": 24})
+
+    def test_symbolic_offset_rejects_bad_chars(self):
+        off = OffsetInstruction("x", UI18, "p", "__import__('os')")
+        with pytest.raises(IRTypeError):
+            off.resolved({})
+
+    def test_symbolic_offset_rejects_non_integer(self):
+        off = OffsetInstruction("x", UI18, "p", "ND1-ND1-(1)*(1)")
+        assert off.resolved({"ND1": 5}) == -1
+
+
+class TestCallInstruction:
+    def test_basic(self):
+        call = CallInstruction("@f0", ["%p", "%rhs"], kind="pipe")
+        assert call.callee == "f0"
+        assert call.args == ["p", "rhs"]
+        assert "pipe" in str(call)
+
+    def test_no_kind(self):
+        call = CallInstruction("f0", [])
+        assert call.kind is None
+        assert str(call) == "call @f0()"
+
+
+def test_iter_ssa_uses():
+    stmts = [
+        OffsetInstruction("pip1", UI18, "p", 1),
+        Instruction("1", UI18, "mul", [Operand.ssa("pip1"), Operand.const(3)]),
+        CallInstruction("f0", ["x", "y"]),
+    ]
+    uses = [(type(s).__name__, n) for s, n in iter_ssa_uses(stmts)]
+    assert ("OffsetInstruction", "p") in uses
+    assert ("Instruction", "pip1") in uses
+    assert ("CallInstruction", "x") in uses
+    assert ("CallInstruction", "y") in uses

@@ -1,0 +1,177 @@
+"""Tests for the IR optimisation passes."""
+
+import pytest
+
+from repro.ir import IRBuilder, ScalarType, validate_module
+from repro.ir.passes import (
+    constant_fold,
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    optimize_module,
+)
+
+UI16 = ScalarType.uint(16)
+
+
+def build_module(body_fn, args=None, with_output_port=True):
+    b = IRBuilder("opt_test")
+    f = b.function("f0", kind="pipe", args=args or [(UI16, "x"), (UI16, "y")])
+    body_fn(f)
+    if with_output_port:
+        b.port("f0", "out", UI16, direction="ostream")
+    main = b.function("main", kind="none")
+    main.call("f0", [n for _, n in (args or [(UI16, "x"), (UI16, "y")])], kind="pipe")
+    return b.build(validate=False)
+
+
+class TestConstantFolding:
+    def test_folds_constant_chain(self):
+        def body(f):
+            a = f.add(UI16, 2, 3)            # 5
+            c = f.mul(UI16, a, 4)            # 20
+            f.add(UI16, c, f.arg("x"), result="out")
+
+        module = build_module(body)
+        f0 = module.get_function("f0")
+        folded = constant_fold(f0)
+        assert folded == 2
+        assert f0.instruction_count() == 1
+        final = f0.instructions()[0]
+        assert any(op.is_const and op.value == 20 for op in final.operands)
+
+    def test_folding_respects_width(self):
+        def body(f):
+            a = f.instr("shl", UI16, 1, 20)   # overflows ui16 -> masked to 0
+            f.add(UI16, a, f.arg("x"), result="out")
+
+        module = build_module(body)
+        f0 = module.get_function("f0")
+        constant_fold(f0)
+        final = f0.instructions()[0]
+        assert any(op.is_const and op.value == 0 for op in final.operands)
+
+    def test_non_constant_untouched(self):
+        def body(f):
+            f.add(UI16, f.arg("x"), f.arg("y"), result="out")
+
+        module = build_module(body)
+        assert constant_fold(module.get_function("f0")) == 0
+
+
+class TestCSE:
+    def test_duplicate_expression_removed(self):
+        def body(f):
+            a = f.mul(UI16, f.arg("x"), f.arg("y"))
+            b_ = f.mul(UI16, f.arg("x"), f.arg("y"))
+            f.add(UI16, a, b_, result="out")
+
+        module = build_module(body)
+        f0 = module.get_function("f0")
+        removed = eliminate_common_subexpressions(f0)
+        assert removed == 1
+        final = [i for i in f0.instructions() if i.result == "out"][0]
+        names = [op.name for op in final.operands]
+        assert names[0] == names[1]
+
+    def test_commutative_matching(self):
+        def body(f):
+            a = f.add(UI16, f.arg("x"), f.arg("y"))
+            b_ = f.add(UI16, f.arg("y"), f.arg("x"))
+            f.mul(UI16, a, b_, result="out")
+
+        module = build_module(body)
+        assert eliminate_common_subexpressions(module.get_function("f0")) == 1
+
+    def test_non_commutative_not_matched(self):
+        def body(f):
+            a = f.sub(UI16, f.arg("x"), f.arg("y"))
+            b_ = f.sub(UI16, f.arg("y"), f.arg("x"))
+            f.mul(UI16, a, b_, result="out")
+
+        module = build_module(body)
+        assert eliminate_common_subexpressions(module.get_function("f0")) == 0
+
+
+class TestDCE:
+    def test_unused_instruction_removed(self):
+        def body(f):
+            f.mul(UI16, f.arg("x"), 3)                 # dead
+            f.add(UI16, f.arg("x"), f.arg("y"), result="out")
+
+        module = build_module(body)
+        f0 = module.get_function("f0")
+        assert eliminate_dead_code(f0, module) == 1
+        assert f0.instruction_count() == 1
+
+    def test_reduction_keeps_producers_alive(self):
+        def body(f):
+            t = f.mul(UI16, f.arg("x"), 3)
+            f.reduction("add", UI16, "acc", t)
+
+        module = build_module(body, with_output_port=False)
+        f0 = module.get_function("f0")
+        assert eliminate_dead_code(f0, module) == 0
+        assert f0.instruction_count() == 2
+
+    def test_unused_offset_removed(self):
+        def body(f):
+            f.offset("x", 4, UI16, result="x_off")      # never consumed
+            f.add(UI16, f.arg("x"), f.arg("y"), result="out")
+
+        module = build_module(body)
+        f0 = module.get_function("f0")
+        assert eliminate_dead_code(f0, module) == 1
+        assert len(f0.offsets()) == 0
+
+
+class TestPipeline:
+    def test_optimize_module_fixed_point_and_validity(self):
+        def body(f):
+            c1 = f.add(UI16, 1, 2)                       # fold -> 3
+            c2 = f.mul(UI16, c1, 5)                      # fold -> 15
+            dup_a = f.mul(UI16, f.arg("x"), c2)
+            dup_b = f.mul(UI16, f.arg("x"), 15)          # becomes CSE with dup_a after folding
+            dead = f.add(UI16, f.arg("y"), 7)            # dead after out uses only dup_a/dup_b
+            _ = dead
+            f.add(UI16, dup_a, dup_b, result="out")
+
+        module = build_module(body)
+        report = optimize_module(module)
+        f0 = module.get_function("f0")
+        assert report.folded >= 2
+        assert report.cse_removed >= 1
+        assert report.dead_removed >= 1
+        assert report.total_removed == (report.folded + report.cse_removed
+                                        + report.dead_removed)
+        assert f0.instruction_count() == 2  # the surviving mul + the output add
+        validate_module(module)
+        assert "f0" in report.per_function
+
+    def test_optimization_reduces_cost_estimate(self):
+        """Removing functional units shows up directly in the resource cost."""
+        from repro.cost import ResourceEstimator, calibrate_device
+        from repro.substrate import MAIA_STRATIX_V_GSD8, SyntheticSynthesizer
+
+        def body(f):
+            a = f.mul(UI16, f.arg("x"), f.arg("y"))
+            b_ = f.mul(UI16, f.arg("x"), f.arg("y"))     # duplicate
+            c = f.add(UI16, 100, 200)                    # constant
+            d = f.add(UI16, a, b_)
+            f.add(UI16, d, c, result="out")
+
+        before = build_module(body)
+        after = build_module(body)
+        optimize_module(after)
+
+        estimator = ResourceEstimator(
+            calibrate_device(SyntheticSynthesizer(MAIA_STRATIX_V_GSD8).characterize())
+        )
+        cost_before = estimator.estimate_module(before).total
+        cost_after = estimator.estimate_module(after).total
+        assert cost_after.alut < cost_before.alut
+        assert cost_after.dsp <= cost_before.dsp
+
+    def test_par_and_main_functions_skipped(self, stencil_module_4lane):
+        report = optimize_module(stencil_module_4lane)
+        validate_module(stencil_module_4lane)
+        assert "f1" not in report.per_function  # the par wrapper is untouched

@@ -1,0 +1,160 @@
+"""Tests for the TyTra-IR scalar type system."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import IRTypeError, ScalarType, TypeKind, parse_type
+
+
+class TestConstruction:
+    def test_uint(self):
+        t = ScalarType.uint(18)
+        assert t.kind is TypeKind.UINT
+        assert t.width == 18
+        assert not t.is_signed
+        assert t.is_integer
+        assert not t.is_float
+
+    def test_int(self):
+        t = ScalarType.int_(32)
+        assert t.is_signed
+        assert t.is_integer
+
+    def test_fixed(self):
+        t = ScalarType.fixed(8, 10)
+        assert t.width == 18
+        assert t.fraction_bits == 10
+        assert t.integer_bits == 8
+        assert t.is_fixed
+        assert t.is_signed
+
+    def test_float(self):
+        t = ScalarType.float_(32)
+        assert t.is_float
+        assert t.is_signed
+        assert not t.is_integer
+
+    def test_bool(self):
+        t = ScalarType.bool_()
+        assert t.is_bool
+        assert t.width == 1
+
+    def test_invalid_width(self):
+        with pytest.raises(IRTypeError):
+            ScalarType.uint(0)
+        with pytest.raises(IRTypeError):
+            ScalarType.uint(-3)
+
+    def test_invalid_float_width(self):
+        with pytest.raises(IRTypeError):
+            ScalarType.float_(24)
+
+    def test_invalid_fixed_fraction(self):
+        with pytest.raises(IRTypeError):
+            ScalarType(TypeKind.FIXED, 16, 16)
+        with pytest.raises(IRTypeError):
+            ScalarType(TypeKind.FIXED, 16, 0)
+
+    def test_fraction_bits_only_for_fixed(self):
+        with pytest.raises(IRTypeError):
+            ScalarType(TypeKind.UINT, 16, 4)
+
+
+class TestProperties:
+    def test_bytes_rounding(self):
+        assert ScalarType.uint(18).bytes == 3
+        assert ScalarType.uint(8).bytes == 1
+        assert ScalarType.uint(1).bytes == 1
+        assert ScalarType.uint(32).bytes == 4
+
+    def test_uint_range(self):
+        t = ScalarType.uint(8)
+        assert t.min_value() == 0
+        assert t.max_value() == 255
+
+    def test_int_range(self):
+        t = ScalarType.int_(8)
+        assert t.min_value() == -128
+        assert t.max_value() == 127
+
+    def test_float_range_infinite(self):
+        t = ScalarType.float_(32)
+        assert t.min_value() == float("-inf")
+        assert t.max_value() == float("inf")
+
+    def test_fixed_range(self):
+        t = ScalarType.fixed(4, 4)
+        assert t.min_value() == -8
+        assert t.max_value() == pytest.approx(8 - 2**-4)
+
+    def test_hashable_and_equal(self):
+        assert ScalarType.uint(18) == ScalarType.uint(18)
+        assert hash(ScalarType.uint(18)) == hash(ScalarType.uint(18))
+        assert ScalarType.uint(18) != ScalarType.int_(18)
+        d = {ScalarType.uint(18): "a"}
+        assert d[ScalarType.uint(18)] == "a"
+
+    def test_ordering(self):
+        assert sorted([ScalarType.uint(32), ScalarType.uint(8)])[0].width == 8
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("ui18", ScalarType.uint(18)),
+            ("ui1", ScalarType.uint(1)),
+            ("i32", ScalarType.int_(32)),
+            ("float32", ScalarType.float_(32)),
+            ("float64", ScalarType.float_(64)),
+            ("fix8.10", ScalarType.fixed(8, 10)),
+            ("bool", ScalarType.bool_()),
+            ("  ui24  ", ScalarType.uint(24)),
+        ],
+    )
+    def test_parse_valid(self, text, expected):
+        assert parse_type(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "u18", "int32", "ui", "float", "fix8", "ui18x", "18"])
+    def test_parse_invalid(self, text):
+        with pytest.raises(IRTypeError):
+            parse_type(text)
+
+    def test_str_roundtrip_explicit(self):
+        for t in [
+            ScalarType.uint(18),
+            ScalarType.int_(7),
+            ScalarType.float_(64),
+            ScalarType.fixed(6, 12),
+        ]:
+            assert parse_type(str(t)) == t
+
+
+@given(width=st.integers(min_value=1, max_value=512))
+def test_uint_str_roundtrip_property(width):
+    t = ScalarType.uint(width)
+    assert parse_type(str(t)) == t
+
+
+@given(width=st.integers(min_value=2, max_value=256))
+def test_int_str_roundtrip_property(width):
+    t = ScalarType.int_(width)
+    assert parse_type(str(t)) == t
+
+
+@given(
+    integer_bits=st.integers(min_value=1, max_value=64),
+    fraction_bits=st.integers(min_value=1, max_value=64),
+)
+def test_fixed_str_roundtrip_property(integer_bits, fraction_bits):
+    t = ScalarType.fixed(integer_bits, fraction_bits)
+    assert parse_type(str(t)) == t
+    assert t.width == integer_bits + fraction_bits
+
+
+@given(width=st.integers(min_value=1, max_value=128))
+def test_uint_max_value_matches_width(width):
+    t = ScalarType.uint(width)
+    assert t.max_value() == 2**width - 1
+    assert t.min_value() == 0

@@ -1,0 +1,197 @@
+"""Tests for the TyTra-IR validator."""
+
+import pytest
+
+from repro.ir import (
+    IRBuilder,
+    IRValidationError,
+    ScalarType,
+    parse_module,
+    validate_module,
+)
+from repro.ir.functions import IRFunction, MemoryObject, Module, PortDeclaration, StreamObject
+from repro.ir.instructions import CallInstruction, Instruction, OffsetInstruction, Operand
+from repro.ir.validator import validate_function
+
+UI18 = ScalarType.uint(18)
+
+
+def make_leaf(name="f0", body=None, args=None, kind="pipe"):
+    return IRFunction(
+        name=name,
+        kind=kind,
+        args=args if args is not None else [(UI18, "p")],
+        body=body or [],
+    )
+
+
+def make_module(*funcs, main_calls=("f0",)):
+    m = Module(name="t")
+    for f in funcs:
+        m.add_function(f)
+    main = IRFunction(name="main", kind="none")
+    for callee in main_calls:
+        main.body.append(CallInstruction(callee=callee, args=["p"], kind="pipe"))
+    m.add_function(main)
+    return m
+
+
+class TestFunctionRules:
+    def test_comb_may_not_call(self):
+        f = make_leaf(kind="comb", body=[CallInstruction("g")])
+        with pytest.raises(IRValidationError, match="comb"):
+            validate_function(f)
+
+    def test_comb_may_not_offset(self):
+        f = make_leaf(kind="comb", body=[OffsetInstruction("x", UI18, "p", 1)])
+        with pytest.raises(IRValidationError, match="comb"):
+            validate_function(f)
+
+    def test_par_may_not_compute(self):
+        f = make_leaf(
+            kind="par",
+            body=[Instruction("1", UI18, "add", [Operand.ssa("p"), Operand.const(1)])],
+        )
+        with pytest.raises(IRValidationError, match="par"):
+            validate_function(f)
+
+    def test_par_must_call(self):
+        f = make_leaf(kind="par", body=[])
+        with pytest.raises(IRValidationError, match="must call"):
+            validate_function(f)
+
+    def test_seq_must_call(self):
+        f = make_leaf(kind="seq", body=[])
+        with pytest.raises(IRValidationError):
+            validate_function(f)
+
+
+class TestSSARules:
+    def test_use_before_def_rejected(self):
+        f = make_leaf(
+            body=[Instruction("1", UI18, "add", [Operand.ssa("nope"), Operand.const(1)])]
+        )
+        with pytest.raises(IRValidationError, match="undefined value"):
+            validate_function(f)
+
+    def test_double_definition_rejected(self):
+        body = [
+            Instruction("x", UI18, "add", [Operand.ssa("p"), Operand.const(1)]),
+            Instruction("x", UI18, "add", [Operand.ssa("p"), Operand.const(2)]),
+        ]
+        with pytest.raises(IRValidationError, match="more than once"):
+            validate_function(make_leaf(body=body))
+
+    def test_wrong_arity_rejected(self):
+        body = [Instruction("x", UI18, "add", [Operand.ssa("p")])]
+        with pytest.raises(IRValidationError, match="expects 2 operands"):
+            validate_function(make_leaf(body=body))
+
+    def test_global_accumulator_may_be_read_and_written(self):
+        body = [
+            Instruction(
+                "acc", UI18, "add", [Operand.ssa("p"), Operand.global_("acc")],
+                result_is_global=True,
+            )
+        ]
+        validate_function(make_leaf(body=body))
+
+    def test_offset_source_must_be_argument(self):
+        body = [
+            Instruction("x", UI18, "add", [Operand.ssa("p"), Operand.const(1)]),
+            OffsetInstruction("y", UI18, "x", 1),
+        ]
+        with pytest.raises(IRValidationError, match="must be a function argument"):
+            validate_function(make_leaf(body=body))
+
+    def test_offset_type_must_match_stream(self):
+        body = [OffsetInstruction("y", ScalarType.uint(32), "p", 1)]
+        with pytest.raises(IRValidationError, match="does not match"):
+            validate_function(make_leaf(body=body))
+
+
+class TestModuleRules:
+    def test_missing_main(self):
+        m = Module()
+        m.add_function(make_leaf())
+        with pytest.raises(IRValidationError, match="main"):
+            validate_module(m)
+
+    def test_empty_module(self):
+        with pytest.raises(IRValidationError, match="no functions"):
+            validate_module(Module())
+
+    def test_main_must_only_call(self):
+        m = Module()
+        m.add_function(make_leaf())
+        main = IRFunction(name="main", kind="none")
+        main.body.append(
+            Instruction("1", UI18, "add", [Operand.const(1), Operand.const(2)])
+        )
+        main.body.append(CallInstruction("f0", ["p"]))
+        m.add_function(main)
+        with pytest.raises(IRValidationError, match="calls only"):
+            validate_module(m)
+
+    def test_main_must_call_something(self):
+        m = Module()
+        m.add_function(make_leaf())
+        m.add_function(IRFunction(name="main", kind="none"))
+        with pytest.raises(IRValidationError, match="must call"):
+            validate_module(m)
+
+    def test_undefined_callee(self):
+        m = make_module(make_leaf(), main_calls=("phantom",))
+        with pytest.raises(IRValidationError, match="undefined function"):
+            validate_module(m)
+
+    def test_recursion_rejected(self):
+        f0 = make_leaf(body=[CallInstruction("f1", ["p"], kind="pipe")])
+        f1 = make_leaf(name="f1", body=[CallInstruction("f0", ["p"], kind="pipe")])
+        m = make_module(f0, f1)
+        with pytest.raises(IRValidationError, match="cycle"):
+            validate_module(m)
+
+    def test_stream_object_unknown_memory(self):
+        m = make_module(make_leaf(body=[
+            Instruction("1", UI18, "add", [Operand.ssa("p"), Operand.const(1)])
+        ]))
+        m.add_stream_object(StreamObject(name="s", memory="ghost"))
+        with pytest.raises(IRValidationError, match="unknown memory object"):
+            validate_module(m)
+
+    def test_port_unknown_function(self):
+        m = make_module(make_leaf(body=[
+            Instruction("1", UI18, "add", [Operand.ssa("p"), Operand.const(1)])
+        ]))
+        m.add_port_declaration(PortDeclaration(function="ghost", port="p", element_type=UI18))
+        with pytest.raises(IRValidationError, match="unknown function"):
+            validate_module(m)
+
+    def test_port_unknown_argument(self):
+        m = make_module(make_leaf(body=[
+            Instruction("1", UI18, "add", [Operand.ssa("p"), Operand.const(1)])
+        ]))
+        m.add_port_declaration(PortDeclaration(function="f0", port="ghost", element_type=UI18))
+        with pytest.raises(IRValidationError, match="no argument"):
+            validate_module(m)
+
+    def test_port_unknown_stream_object(self):
+        m = make_module(make_leaf(body=[
+            Instruction("1", UI18, "add", [Operand.ssa("p"), Operand.const(1)])
+        ]))
+        m.add_port_declaration(
+            PortDeclaration(function="f0", port="p", element_type=UI18, stream_object="ghost")
+        )
+        with pytest.raises(IRValidationError, match="unknown stream"):
+            validate_module(m)
+
+    def test_valid_module_passes(self, stencil_module, stencil_module_4lane):
+        validate_module(stencil_module)
+        validate_module(stencil_module_4lane)
+
+    def test_memory_object_invariants(self):
+        with pytest.raises(IRValidationError):
+            MemoryObject(name="m", element_type=UI18, size=0)
+        with pytest.raises(IRValidationError):
+            MemoryObject(name="m", element_type=UI18, size=8, addr_space=7)

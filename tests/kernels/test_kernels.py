@@ -1,0 +1,148 @@
+"""Tests for the SOR, Hotspot and LavaMD kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import TybecCompiler
+from repro.cost.resource_model import ModuleStructure
+from repro.functional import verify_variant_equivalence
+from repro.ir import validate_module
+from repro.kernels import ALL_KERNELS, HotspotKernel, LavaMDKernel, SORKernel, get_kernel
+
+
+@pytest.fixture(params=sorted(ALL_KERNELS))
+def kernel(request):
+    return get_kernel(request.param)
+
+
+SMALL_GRIDS = {
+    "sor": (8, 8, 8),
+    "hotspot": (16, 16),
+    "lavamd": (8, 8, 8),
+}
+
+
+class TestRegistry:
+    def test_all_kernels_instantiable(self):
+        for name in ALL_KERNELS:
+            k = get_kernel(name)
+            assert k.name == name
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            get_kernel("nbody")
+
+
+class TestGoldenSemantics:
+    def test_gathered_matches_full_grid_reference(self, kernel):
+        grid = SMALL_GRIDS[kernel.name]
+        assert kernel.verify_against_reference(grid=grid, seed=3)
+
+    def test_reference_iterations_change_result(self, kernel):
+        grid = SMALL_GRIDS[kernel.name]
+        arrays = kernel.generate_inputs(grid, seed=1)
+        one = kernel.reference(arrays, iterations=1)
+        many = kernel.reference(arrays, iterations=5)
+        primary = kernel.spec().outputs[0]
+        if kernel.name == "lavamd":
+            # the per-pair potential is iteration independent by construction
+            assert np.allclose(one[primary], many[primary])
+        else:
+            assert not np.allclose(one[primary], many[primary])
+
+    def test_generate_inputs_reproducible(self, kernel):
+        grid = SMALL_GRIDS[kernel.name]
+        a = kernel.generate_inputs(grid, seed=7)
+        b = kernel.generate_inputs(grid, seed=7)
+        c = kernel.generate_inputs(grid, seed=8)
+        for key in a:
+            assert np.array_equal(a[key], b[key])
+        assert any(not np.array_equal(a[key], c[key]) for key in a)
+
+    def test_variant_equivalence(self, kernel):
+        grid = SMALL_GRIDS[kernel.name]
+        baseline = kernel.baseline_program(grid)
+        variant = kernel.variant_program(4, grid)
+        gathered = kernel.gather(kernel.generate_inputs(grid, seed=2))
+        assert verify_variant_equivalence(baseline, variant, gathered)
+
+    @given(lanes=st.sampled_from([1, 2, 4, 8]), seed=st.integers(0, 100))
+    @settings(max_examples=12, deadline=None)
+    def test_sor_variant_equivalence_property(self, lanes, seed):
+        kernel = SORKernel()
+        grid = (8, 8, 8)
+        baseline = kernel.baseline_program(grid)
+        variant = kernel.variant_program(lanes, grid)
+        gathered = kernel.gather(kernel.generate_inputs(grid, seed=seed))
+        assert verify_variant_equivalence(baseline, variant, gathered)
+
+
+class TestIRConstruction:
+    def test_modules_validate(self, kernel):
+        grid = SMALL_GRIDS[kernel.name]
+        for lanes in (1, 4):
+            module = kernel.build_module(lanes=lanes, grid=grid)
+            validate_module(module)
+            assert ModuleStructure.from_module(module).lanes == lanes
+
+    def test_sor_structure_matches_paper(self):
+        kernel = SORKernel()
+        module = kernel.build_module(lanes=1, grid=(24, 24, 24))
+        s = ModuleStructure.from_module(module)
+        # six neighbour offsets, the largest spanning a full i-j plane
+        assert len(s.offset_buffers) == 6
+        assert s.max_offset_span_words == 24 * 24
+        # p and rhs in, p_new out
+        assert s.words_per_item == 3
+        assert s.instructions_per_pe >= 14
+
+    def test_sor_uses_no_dsps(self):
+        compiler = TybecCompiler()
+        kernel = SORKernel()
+        report = compiler.cost(kernel.build_module(1, (16, 16, 16)),
+                               kernel.workload((16, 16, 16), 10))
+        assert report.usage.dsp == 0
+        assert report.usage.bram_bits > 0   # the k-plane offset buffers
+
+    def test_lavamd_uses_dsps_but_no_bram(self):
+        compiler = TybecCompiler()
+        kernel = LavaMDKernel()
+        report = compiler.cost(kernel.build_module(1, (8, 8, 8)),
+                               kernel.workload((8, 8, 8), 10))
+        assert report.usage.dsp >= 10
+        assert report.usage.bram_bits == 0
+
+    def test_hotspot_uses_some_dsps_and_bram(self):
+        compiler = TybecCompiler()
+        kernel = HotspotKernel()
+        report = compiler.cost(kernel.build_module(1, (64, 64)),
+                               kernel.workload((64, 64), 10))
+        assert report.usage.dsp >= 2
+        assert report.usage.bram_bits > 0
+
+
+class TestWorkloadsAndCharacteristics:
+    def test_workload_defaults(self, kernel):
+        wl = kernel.workload()
+        assert wl.kernel == kernel.name
+        assert wl.repetitions == kernel.default_iterations
+        assert wl.global_size == np.prod(kernel.default_grid)
+        assert wl.words_per_item == kernel.spec().words_per_item
+
+    def test_hls_characteristics(self, kernel):
+        chars = kernel.hls_characteristics()
+        assert chars.operations_per_item == kernel.ops_per_item
+        assert chars.input_words_per_item == len(kernel.spec().inputs)
+        assert chars.element_bytes in (3, 4)
+
+    def test_sor_offset_span_in_hls_characteristics(self):
+        chars = SORKernel().hls_characteristics(grid=(24, 24, 24))
+        assert chars.max_offset_span_words == 576
+        assert LavaMDKernel().hls_characteristics().max_offset_span_words == 0
+
+    def test_cpu_profile(self, kernel):
+        profile = kernel.cpu_profile()
+        assert profile["ops_per_item"] > 0
+        assert profile["bytes_per_item"] > 0

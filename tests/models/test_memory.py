@@ -1,0 +1,60 @@
+"""Tests for the memory-hierarchy model."""
+
+import pytest
+
+from repro.models import AddressSpace, MemoryHierarchy, MemoryLevel
+
+
+class TestAddressSpace:
+    def test_numbering_matches_paper(self):
+        # Figure 4: private(0), global(1), local(2), constant(3)
+        assert AddressSpace.PRIVATE == 0
+        assert AddressSpace.GLOBAL == 1
+        assert AddressSpace.LOCAL == 2
+        assert AddressSpace.CONSTANT == 3
+
+    def test_on_chip_classification(self):
+        assert AddressSpace.PRIVATE.is_on_chip
+        assert AddressSpace.LOCAL.is_on_chip
+        assert AddressSpace.GLOBAL.is_off_chip
+        assert AddressSpace.CONSTANT.is_off_chip
+
+
+class TestMemoryLevel:
+    def test_fits(self):
+        level = MemoryLevel(AddressSpace.LOCAL, capacity_bytes=1024, peak_bandwidth_gbps=100)
+        assert level.fits(1024)
+        assert level.fits(0)
+        assert not level.fits(1025)
+
+
+class TestMemoryHierarchy:
+    def test_generic_has_all_levels(self):
+        h = MemoryHierarchy.generic()
+        for space in AddressSpace:
+            assert space in h
+        assert h.global_memory.capacity_bytes > h.local_memory.capacity_bytes
+        assert h.local_memory.peak_bandwidth_gbps > h.global_memory.peak_bandwidth_gbps
+
+    def test_indexing_by_int(self):
+        h = MemoryHierarchy.generic()
+        assert h[1] is h.global_memory
+        assert h[2] is h.local_memory
+        assert h[0] is h.private_memory
+
+    def test_deepest_fitting_prefers_on_chip(self):
+        h = MemoryHierarchy.generic(dram_bytes=1 << 30, bram_bytes=1 << 20, register_bytes=1 << 10)
+        assert h.deepest_fitting(512).space is AddressSpace.PRIVATE
+        assert h.deepest_fitting(1 << 18).space is AddressSpace.LOCAL
+        assert h.deepest_fitting(1 << 25).space is AddressSpace.GLOBAL
+
+    def test_deepest_fitting_raises_when_too_big(self):
+        h = MemoryHierarchy.generic(dram_bytes=1 << 20)
+        with pytest.raises(ValueError, match="host"):
+            h.deepest_fitting(1 << 30)
+
+    def test_add_returns_self_for_chaining(self):
+        h = MemoryHierarchy()
+        out = h.add(MemoryLevel(AddressSpace.GLOBAL, 1 << 30, 10.0))
+        assert out is h
+        assert AddressSpace.GLOBAL in h

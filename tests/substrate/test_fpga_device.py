@@ -1,0 +1,69 @@
+"""Tests for the FPGA device catalogue."""
+
+import pytest
+
+from repro.models import AddressSpace
+from repro.substrate import (
+    DEVICES,
+    MAIA_STRATIX_V_GSD8,
+    SMALL_EDU_DEVICE,
+    VIRTEX7_ADM_PCIE_7V3,
+    FPGADevice,
+    get_device,
+)
+
+
+class TestCatalogue:
+    def test_known_devices_present(self):
+        assert "maia-stratix-v-gsd8" in DEVICES
+        assert "adm-pcie-7v3-virtex7" in DEVICES
+        assert "small-edu-device" in DEVICES
+
+    def test_aliases(self):
+        assert get_device("stratix-v") is MAIA_STRATIX_V_GSD8
+        assert get_device("virtex-7") is VIRTEX7_ADM_PCIE_7V3
+        assert get_device("small") is SMALL_EDU_DEVICE
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device("ghost-device")
+
+    def test_maia_is_case_study_board(self):
+        d = MAIA_STRATIX_V_GSD8
+        assert d.vendor == "altera"
+        assert d.family == "stratix-v"
+        assert d.info["logic_elements"] == 695_000
+        assert d.pcie_gen == 2 and d.pcie_lanes == 8
+        assert d.dram_bytes == 48 << 30
+
+    def test_virtex_is_bandwidth_board(self):
+        d = VIRTEX7_ADM_PCIE_7V3
+        assert d.vendor == "xilinx"
+        assert d.pcie_gen == 3
+
+    def test_small_device_is_small(self):
+        assert SMALL_EDU_DEVICE.aluts < MAIA_STRATIX_V_GSD8.aluts / 10
+
+
+class TestFPGADevice:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FPGADevice(
+                name="bad", family="x", vendor="y",
+                aluts=0, registers=1, bram_bits=1, dsps=1,
+            )
+
+    def test_resource_capacities_keys(self):
+        caps = MAIA_STRATIX_V_GSD8.resource_capacities()
+        assert set(caps) == {"alut", "reg", "bram_bits", "dsp"}
+        assert all(v > 0 for v in caps.values())
+
+    def test_memory_hierarchy(self):
+        h = MAIA_STRATIX_V_GSD8.memory_hierarchy()
+        assert h.global_memory.capacity_bytes == 48 << 30
+        assert h.local_memory.capacity_bytes == MAIA_STRATIX_V_GSD8.bram_bits // 8
+        assert h.host_link_peak_gbps == MAIA_STRATIX_V_GSD8.host_peak_gbps
+        assert AddressSpace.CONSTANT in h
+
+    def test_clock_hz(self):
+        assert MAIA_STRATIX_V_GSD8.clock_hz == pytest.approx(200e6)

@@ -1,0 +1,247 @@
+"""Tests for the synthetic synthesiser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import ScalarType
+from repro.substrate import (
+    CalibrationDataset,
+    DesignNetlist,
+    MAIA_STRATIX_V_GSD8,
+    NetlistOperator,
+    ResourceUsage,
+    SMALL_EDU_DEVICE,
+    SyntheticSynthesizer,
+)
+
+
+@pytest.fixture
+def synth():
+    return SyntheticSynthesizer(MAIA_STRATIX_V_GSD8)
+
+
+class TestResourceUsage:
+    def test_add(self):
+        a = ResourceUsage(alut=10, reg=20, bram_bits=100, dsp=1)
+        b = ResourceUsage(alut=5, reg=5, bram_bits=50, dsp=2)
+        c = a + b
+        assert (c.alut, c.reg, c.bram_bits, c.dsp) == (15, 25, 150, 3)
+
+    def test_iadd_and_scale(self):
+        a = ResourceUsage(alut=10)
+        a += ResourceUsage(alut=3, dsp=1)
+        assert a.alut == 13 and a.dsp == 1
+        assert a.scaled(4).alut == 52
+
+    def test_utilization_and_fits(self):
+        usage = ResourceUsage(alut=2000, reg=4000, bram_bits=500_000, dsp=16)
+        util = usage.utilization(SMALL_EDU_DEVICE)
+        assert util["alut"] == pytest.approx(0.5)
+        assert usage.fits(SMALL_EDU_DEVICE)
+        big = usage.scaled(3)
+        assert not big.fits(SMALL_EDU_DEVICE)
+        name, frac = big.limiting_resource(SMALL_EDU_DEVICE)
+        assert name in ("alut", "bram_bits", "dsp", "reg")
+        assert frac > 1.0
+
+    def test_as_dict_and_str(self):
+        usage = ResourceUsage(alut=1, reg=2, bram_bits=3, dsp=4)
+        assert usage.as_dict() == {"alut": 1, "reg": 2, "bram_bits": 3, "dsp": 4}
+        assert "ALUT=1" in str(usage)
+
+
+class TestOperatorMapping:
+    def test_divider_follows_paper_trendline(self, synth):
+        # Figure 9: ALUTs for unsigned integer division follow x^2 + 3.7x - 10.6;
+        # at 24 bits the paper interpolates 654 and measures 652.
+        usage = synth.synthesize_operator("div", ScalarType.uint(24), perturb=False)
+        expected = 24 * 24 + 3.7 * 24 - 10.6
+        assert usage.alut == pytest.approx(expected, abs=1)
+        assert usage.dsp == 0
+
+    def test_divider_perturbed_close_to_trendline(self, synth):
+        usage = synth.synthesize_operator("div", ScalarType.uint(24))
+        assert usage.alut == pytest.approx(654, rel=0.05)
+
+    def test_divider_grows_quadratically(self, synth):
+        a = synth.synthesize_operator("div", ScalarType.uint(18), perturb=False).alut
+        b = synth.synthesize_operator("div", ScalarType.uint(64), perturb=False).alut
+        assert b / a > 8  # quadratic, not linear
+
+    def test_multiplier_uses_dsp_steps(self, synth):
+        u18 = synth.synthesize_operator("mul", ScalarType.uint(18), perturb=False)
+        u32 = synth.synthesize_operator("mul", ScalarType.uint(32), perturb=False)
+        u64 = synth.synthesize_operator("mul", ScalarType.uint(64), perturb=False)
+        assert u18.dsp == 1
+        assert u32.dsp == 2
+        assert u64.dsp == 8
+        # ALUT glue is piecewise linear and modest (order of the width)
+        assert u64.alut < 100
+
+    def test_narrow_multiplier_avoids_dsp(self, synth):
+        u8 = synth.synthesize_operator("mul", ScalarType.uint(8), perturb=False)
+        assert u8.dsp == 0
+        assert u8.alut > 0
+
+    def test_constant_multiplier_avoids_dsp(self, synth):
+        u18 = synth.synthesize_operator("mul", ScalarType.uint(18), constant_operand=True,
+                                        perturb=False)
+        assert u18.dsp == 0
+        assert u18.alut == pytest.approx(27, abs=1)
+
+    def test_adder_linear_in_width(self, synth):
+        a16 = synth.synthesize_operator("add", ScalarType.uint(16), perturb=False)
+        a32 = synth.synthesize_operator("add", ScalarType.uint(32), perturb=False)
+        assert a32.alut == 2 * a16.alut
+        assert a16.dsp == 0
+
+    def test_logic_and_shift(self, synth):
+        logic = synth.synthesize_operator("and", ScalarType.uint(32), perturb=False)
+        assert logic.alut == 16
+        shl_const = synth.synthesize_operator("shl", ScalarType.uint(32), constant_operand=True,
+                                              perturb=False)
+        assert shl_const.alut == 0
+        shl_var = synth.synthesize_operator("shl", ScalarType.uint(32), perturb=False)
+        assert shl_var.alut > 0
+
+    def test_float_ops(self, synth):
+        fadd = synth.synthesize_operator("fadd", ScalarType.float_(32), perturb=False)
+        fmul = synth.synthesize_operator("fmul", ScalarType.float_(32), perturb=False)
+        assert fadd.alut > 500
+        assert fmul.dsp >= 1
+        fexp = synth.synthesize_operator("fexp", ScalarType.float_(32), perturb=False)
+        assert fexp.bram_bits > 0
+
+    def test_unknown_opcode_rejected(self, synth):
+        with pytest.raises(ValueError):
+            synth.synthesize_operator("bogus", ScalarType.uint(32))
+
+    def test_determinism(self, synth):
+        a = synth.synthesize_operator("mul", ScalarType.uint(24))
+        b = SyntheticSynthesizer(MAIA_STRATIX_V_GSD8).synthesize_operator(
+            "mul", ScalarType.uint(24)
+        )
+        assert a == b
+
+    def test_device_specific_noise(self):
+        a = SyntheticSynthesizer(MAIA_STRATIX_V_GSD8).synthesize_operator(
+            "div", ScalarType.uint(32)
+        )
+        b = SyntheticSynthesizer(SMALL_EDU_DEVICE).synthesize_operator(
+            "div", ScalarType.uint(32)
+        )
+        # same functional form, slightly different tool outcomes
+        assert a.alut != b.alut
+        assert abs(a.alut - b.alut) / a.alut < 0.2
+
+    @given(width=st.integers(min_value=2, max_value=128))
+    @settings(max_examples=30, deadline=None)
+    def test_all_resources_nonnegative(self, width):
+        synth = SyntheticSynthesizer(MAIA_STRATIX_V_GSD8)
+        for opcode in ("add", "mul", "div", "and", "icmp", "select", "shl"):
+            usage = synth.synthesize_operator(opcode, ScalarType.uint(width))
+            assert usage.alut >= 0
+            assert usage.reg >= 0
+            assert usage.dsp >= 0
+            assert usage.bram_bits >= 0
+
+
+class TestBuffersAndStreams:
+    def test_small_buffer_in_registers(self, synth):
+        usage = synth.synthesize_offset_buffer(18)
+        assert usage.bram_bits == 0
+        assert usage.reg == 18
+
+    def test_large_buffer_in_bram(self, synth):
+        usage = synth.synthesize_offset_buffer(10_368)  # 576 x ui18
+        assert usage.bram_bits == 10_368
+        assert usage.reg < 100
+
+    def test_zero_buffer(self, synth):
+        assert synth.synthesize_offset_buffer(0) == ResourceUsage()
+
+    def test_stream_control_scales_with_streams(self, synth):
+        one = synth.synthesize_stream_control(1, element_width=18)
+        four = synth.synthesize_stream_control(4, element_width=18)
+        assert four.alut == pytest.approx(4 * one.alut)
+        assert synth.synthesize_stream_control(0) == ResourceUsage()
+
+
+class TestDesignSynthesis:
+    def _netlist(self, lanes=1):
+        ui18 = ScalarType.uint(18)
+        ops = [
+            NetlistOperator("mul", ui18, constant_operand=True),
+            NetlistOperator("mul", ui18, constant_operand=True),
+            NetlistOperator("add", ui18),
+            NetlistOperator("add", ui18),
+            NetlistOperator("sub", ui18),
+        ]
+        return DesignNetlist(
+            operators=ops,
+            offset_buffer_bits=[18, 10_368],
+            input_streams=3,
+            output_streams=1,
+            lanes=lanes,
+            name="test-design",
+        )
+
+    def test_design_totals_scale_with_lanes(self, synth):
+        one = synth.synthesize_design(self._netlist(lanes=1))
+        four = synth.synthesize_design(self._netlist(lanes=4))
+        assert four.alut == pytest.approx(4 * one.alut, rel=0.05)
+        assert four.bram_bits == pytest.approx(4 * one.bram_bits, rel=0.05)
+
+    def test_design_is_deterministic(self, synth):
+        a = synth.synthesize_design(self._netlist())
+        b = SyntheticSynthesizer(MAIA_STRATIX_V_GSD8).synthesize_design(self._netlist())
+        assert a == b
+
+    def test_balancing_registers_counted(self, synth):
+        base = self._netlist()
+        with_regs = self._netlist()
+        with_regs.balancing_register_bits = 500
+        a = synth.synthesize_design(base)
+        b = synth.synthesize_design(with_regs)
+        assert b.reg > a.reg
+
+    def test_dsp_remap_possible(self):
+        """Across many distinct designs with DSP multiplies, the tool
+        occasionally re-maps some to LUTs (as real tools do)."""
+        ui32 = ScalarType.uint(32)
+        synth = SyntheticSynthesizer(MAIA_STRATIX_V_GSD8)
+        dsp_counts = []
+        for i in range(40):
+            netlist = DesignNetlist(
+                operators=[NetlistOperator("mul", ui32) for _ in range(5)],
+                input_streams=2,
+                output_streams=1,
+                name=f"design-{i}",
+            )
+            dsp_counts.append(synth.synthesize_design(netlist).dsp)
+        assert max(dsp_counts) == 10
+        assert min(dsp_counts) < 10  # at least one design saw a remap
+
+
+class TestCharacterization:
+    def test_characterize_default(self, synth):
+        ds = synth.characterize()
+        assert ds.device_name == MAIA_STRATIX_V_GSD8.name
+        assert len(ds) > 20
+        assert "div" in ds.opcodes()
+        div_points = ds.for_opcode("div")
+        assert sorted(p.width for p in div_points) == [18, 32, 64]
+
+    def test_characterize_constant_variants(self, synth):
+        ds = synth.characterize(opcodes=["mul"], widths=[18, 32])
+        assert len(ds.for_opcode("mul", constant_operand=False)) == 2
+        assert len(ds.for_opcode("mul", constant_operand=True)) == 2
+
+    def test_dataset_serialization_roundtrip(self, synth):
+        ds = synth.characterize(opcodes=["div", "mul"], widths=[18, 32, 64])
+        data = ds.as_dict()
+        back = CalibrationDataset.from_dict(data)
+        assert back.device_name == ds.device_name
+        assert len(back) == len(ds)
+        assert back.for_opcode("div")[0].usage.alut == ds.for_opcode("div")[0].usage.alut

@@ -1,0 +1,103 @@
+"""Tests for the tybec command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.ir import print_module
+
+from tests.conftest import build_stencil_module
+
+
+@pytest.fixture
+def design_file(tmp_path):
+    module = build_stencil_module(lanes=1, grid=(8, 8, 8))
+    path = tmp_path / "stencil.tirl"
+    path.write_text(print_module(module))
+    return path
+
+
+class TestParser:
+    def test_commands_registered(self):
+        parser = build_parser()
+        for command in ("cost", "emit", "explore", "calibrate", "stream-bench"):
+            args = parser.parse_args([command] + (["x.tirl"] if command in ("cost", "emit") else []))
+            assert args.command == command
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCostCommand:
+    def test_cost_text_output(self, design_file, capsys):
+        rc = main(["cost", str(design_file), "--grid", "8", "8", "8", "--iterations", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Cost report" in out
+        assert "limiting factor" in out
+
+    def test_cost_json_output(self, design_file, capsys):
+        rc = main(["cost", str(design_file), "--grid", "8", "8", "8", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["design"] == "stencil_l1"
+        assert payload["throughput"]["ekit_per_s"] > 0
+
+
+class TestEmitCommand:
+    def test_emit_writes_files(self, design_file, tmp_path, capsys):
+        outdir = tmp_path / "hdl"
+        rc = main(["emit", str(design_file), "-o", str(outdir)])
+        assert rc == 0
+        names = {p.name for p in outdir.iterdir()}
+        assert any(n.endswith("_kernel.v") for n in names)
+        assert any(n.endswith(".maxj") for n in names)
+
+    def test_emit_without_wrapper(self, design_file, tmp_path):
+        outdir = tmp_path / "hdl2"
+        rc = main(["emit", str(design_file), "-o", str(outdir), "--no-wrapper"])
+        assert rc == 0
+        assert not any(p.name.endswith(".maxj") for p in outdir.iterdir())
+
+
+class TestExploreCommand:
+    def test_explore_table(self, capsys):
+        rc = main(["explore", "--kernel", "sor", "--grid", "8", "8", "8",
+                   "--iterations", "10", "--max-lanes", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best feasible variant" in out
+        assert "lanes" in out
+
+    def test_explore_json(self, capsys):
+        rc = main(["explore", "--kernel", "lavamd", "--grid", "8", "8", "8",
+                   "--iterations", "10", "--max-lanes", "2", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["best_lanes"] in (1, 2)
+        assert len(payload["rows"]) == 2
+
+
+class TestCalibrateAndStream:
+    def test_calibrate_to_file(self, tmp_path, capsys):
+        out = tmp_path / "db.json"
+        rc = main(["calibrate", "--device", "small", "-o", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["device_name"] == "small-edu-device"
+        assert payload["models"]
+
+    def test_calibrate_stdout(self, capsys):
+        rc = main(["calibrate", "--device", "small"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["models"]
+
+    def test_stream_bench(self, capsys):
+        rc = main(["stream-bench", "--device", "virtex-7", "--sides", "100", "1000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sustained bandwidth" in out
+        assert "100" in out

@@ -1,0 +1,106 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the complete TyTra flow the paper describes in Figure 1:
+functional program → type-transformed variant → TyTra-IR (text round-trip)
+→ configuration analysis → cost model → HDL generation → ground-truth
+simulation, and check that the pieces agree with each other.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.compiler import CompilationOptions, TybecCompiler, build_configuration_tree
+from repro.cost.resource_model import ModuleStructure
+from repro.functional import verify_variant_equivalence
+from repro.ir import parse_module, print_module, validate_module
+from repro.kernels import get_kernel
+from repro.models import MemoryExecutionForm
+from repro.substrate import MAIA_STRATIX_V_GSD8
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.fixture(scope="module")
+def compiler():
+    return TybecCompiler(CompilationOptions(device=MAIA_STRATIX_V_GSD8))
+
+
+class TestEndToEndFlow:
+    @pytest.mark.parametrize("kernel_name,lanes", [("sor", 2), ("hotspot", 4), ("lavamd", 1)])
+    def test_full_flow(self, compiler, kernel_name, lanes):
+        kernel = get_kernel(kernel_name)
+        grid = {"sor": (16, 16, 16), "hotspot": (64, 64), "lavamd": (8, 8, 8)}[kernel_name]
+
+        # 1. variant generation is semantics preserving
+        baseline = kernel.baseline_program(grid)
+        variant_program = kernel.variant_program(lanes, grid)
+        gathered = kernel.gather(kernel.generate_inputs(grid, seed=11))
+        assert verify_variant_equivalence(baseline, variant_program, gathered)
+
+        # 2. lowering produces valid IR that round-trips through the text form
+        module = kernel.build_module(lanes=lanes, grid=grid)
+        text = print_module(module)
+        reparsed = parse_module(text)
+        validate_module(reparsed)
+        assert print_module(reparsed) == text
+
+        # 3. both forms of the module agree structurally
+        s1 = ModuleStructure.from_module(module)
+        s2 = ModuleStructure.from_module(reparsed)
+        assert (s1.lanes, s1.instructions_per_pe, s1.max_offset_span_words) == (
+            s2.lanes, s2.instructions_per_pe, s2.max_offset_span_words)
+        assert build_configuration_tree(reparsed).lanes() == lanes if lanes > 1 else True
+
+        # 4. the cost model and the ground-truth substrates roughly agree
+        workload = kernel.workload(grid, iterations=500)
+        report = compiler.cost(reparsed, workload)
+        variant = compiler.analyze(reparsed)
+        actual = compiler.synthesize_actual(variant)
+        assert report.usage.alut == pytest.approx(actual.alut, rel=0.12)
+        sim = compiler.simulate_actual(variant, workload)
+        assert report.throughput.cycles_per_kernel_instance == pytest.approx(
+            sim.cycles_per_kernel_instance, rel=0.25
+        )
+
+        # 5. HDL generation covers every leaf pipeline and the wrapper
+        files = compiler.emit_hdl(reparsed)
+        kernel_files = [n for n in files if n.endswith("_kernel.v")]
+        assert kernel_files
+        assert any(n.endswith(".maxj") for n in files)
+        assert any(n.endswith("_config.vh") for n in files)
+        config = files[[n for n in files if n.endswith("_config.vh")][0]]
+        assert f"`define TYTRA_LANES {lanes}" in config
+
+    def test_form_selection_tracks_footprint(self, compiler):
+        kernel = get_kernel("sor")
+        small = compiler.cost(kernel.build_module(1, (8, 8, 8)), kernel.workload((8, 8, 8), 10))
+        large = compiler.cost(kernel.build_module(1, (128, 128, 128)),
+                              kernel.workload((128, 128, 128), 10))
+        assert small.throughput.form is MemoryExecutionForm.C
+        assert large.throughput.form is MemoryExecutionForm.B
+        # the large problem needs more of the DRAM bandwidth
+        assert (large.feasibility.required_dram_gbps
+                >= small.feasibility.required_dram_gbps)
+
+
+@pytest.mark.parametrize(
+    "script,args",
+    [
+        ("quickstart.py", []),
+        ("sor_design_space.py", ["--grid", "8", "--iterations", "5", "--max-lanes", "4"]),
+        ("custom_kernel_ir.py", []),
+    ],
+)
+def test_examples_run(script, args):
+    """The shipped examples run to completion as standalone scripts."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
