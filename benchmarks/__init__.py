@@ -1,0 +1,6 @@
+"""Benchmark harness package.
+
+Making ``benchmarks`` a proper package lets the ``from .conftest import
+format_table`` imports of the experiment modules resolve when the suite is
+collected from the repository root (``python -m pytest``).
+"""

@@ -10,8 +10,11 @@ time (excluding the one-time per-device calibration, exactly as the paper
 does) and compares it against the documented HLS estimation-latency model.
 """
 
+import json
+
 import pytest
 
+from repro.explore import DesignSpace, ExplorationEngine, build_jobs
 from repro.kernels import SORKernel
 from repro.substrate import BaselineHLSFlow, MAIA_STRATIX_V_GSD8
 
@@ -78,3 +81,48 @@ def test_estimation_time_scales_gently_with_design_size(maia_compiler, write_res
         format_table(["lanes", "estimation time (ms)"], rows,
                      title="Estimation time vs variant width"),
     )
+
+
+def test_explore_engine_throughput(maia_compiler, results_dir):
+    """Record the exploration engine's variants/sec in BENCH_explore.json.
+
+    A multi-axis sweep (lanes x clock) runs twice through one engine: the
+    first pass pays for analysis and resource estimation, the repeat pass
+    exercises the memoizing pipeline.  The recorded figures are the CI
+    throughput artifact for the scaling roadmap.
+    """
+    space = DesignSpace(
+        kernel=SORKernel(),
+        grid=GRID,
+        iterations=10,
+        max_lanes=16,
+        clocks_mhz=(100.0, 150.0, 200.0, 250.0),
+    )
+    engine = ExplorationEngine()
+    jobs = build_jobs(space)
+    first = engine.cost_many(jobs)
+    repeat = engine.cost_many(jobs)
+
+    payload = {
+        "kernel": "sor",
+        "grid": list(GRID),
+        "axes": space.axis_sizes(),
+        "points": len(space),
+        "first_pass": {
+            "wall_seconds": first.wall_seconds,
+            "variants_per_second": first.variants_per_second,
+        },
+        "memoized_pass": {
+            "wall_seconds": repeat.wall_seconds,
+            "variants_per_second": repeat.variants_per_second,
+        },
+        "memoization_speedup": (
+            first.wall_seconds / repeat.wall_seconds if repeat.wall_seconds > 0 else None
+        ),
+    }
+    (results_dir / "BENCH_explore.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert first.evaluated == repeat.evaluated == len(space) >= 20
+    # the engine clears the paper's per-variant envelope with huge headroom
+    assert first.variants_per_second > 1.0 / PAPER_TYTRA_SECONDS
+    assert repeat.wall_seconds < first.wall_seconds

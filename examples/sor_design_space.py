@@ -13,7 +13,15 @@ Run with:  python examples/sor_design_space.py [--device small|stratix-v]
 import argparse
 
 from repro.compiler import CompilationOptions, TybecCompiler
-from repro.explore import exhaustive_search, generate_lane_variants, roofline_analysis
+from repro.explore import (
+    DesignSpace,
+    ExplorationEngine,
+    ProcessPoolBackend,
+    SerialBackend,
+    exhaustive_search,
+    generate_lane_variants,
+    roofline_analysis,
+)
 from repro.kernels import SORKernel
 from repro.substrate import get_device
 
@@ -25,6 +33,8 @@ def main() -> None:
     parser.add_argument("--grid", type=int, default=16, help="grid elements per dimension")
     parser.add_argument("--iterations", type=int, default=10)
     parser.add_argument("--max-lanes", type=int, default=16)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="run the multi-axis sweep on N worker processes")
     args = parser.parse_args()
 
     kernel = SORKernel()
@@ -59,6 +69,33 @@ def main() -> None:
               f"attainable={point.attainable_gops:7.3f} GOP/s  "
               f"(compute roof {point.compute_roof_gops:7.3f}, "
               f"bandwidth roof {point.bandwidth_roof_gops:7.3f}, {point.bound}-bound)")
+
+    # ---- multi-axis exploration: lanes x clock frequency --------------------
+    space = DesignSpace(
+        kernel=kernel,
+        grid=grid,
+        iterations=args.iterations,
+        max_lanes=args.max_lanes,
+        clocks_mhz=(100.0, 150.0, 200.0),
+        devices=(device,),
+    )
+    backend = (
+        ProcessPoolBackend(max_workers=args.jobs)
+        if args.jobs and args.jobs > 1
+        else SerialBackend()
+    )
+    engine = ExplorationEngine(backend)
+    sweep = engine.explore(space)
+    print(f"\nmulti-axis sweep: {len(space)} points over axes {space.active_axes} "
+          f"({sweep.variants_per_second:.1f} variants/s)")
+    for entry in sweep.pareto_frontier():
+        report = entry.report
+        print(f"  pareto: {entry.point.label}  EKIT {report.ekit:.1f}/s, "
+              f"worst utilisation "
+              f"{report.feasibility.limiting_resource_utilization * 100:.1f}%")
+    best = sweep.best()
+    if best is not None:
+        print(f"best feasible point overall: {best.point.label}")
 
 
 if __name__ == "__main__":

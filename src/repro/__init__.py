@@ -26,14 +26,17 @@ Sub-packages
     models, plus calibration.
 ``repro.compiler``
     The TyBEC back-end compiler: analysis, scheduling, costing and HDL
-    code generation.
+    code generation.  Costing runs through the staged, memoizing
+    :class:`~repro.compiler.pipeline.EstimationPipeline`.
 ``repro.functional``
     The functional front end: sized vectors, ``map``/``fold`` programs and
     the ``reshapeTo`` type transformation that generates design variants.
 ``repro.kernels``
     SOR, Hotspot and LavaMD scientific kernels (golden models + IR).
 ``repro.explore``
-    Design-space exploration drivers built on the cost model.
+    Design-space exploration drivers built on the cost model: multi-axis
+    design spaces, the batched (serial / process-pool) exploration engine
+    and the exhaustive, guided and Pareto search strategies.
 """
 
 __version__ = "0.1.0"

@@ -12,7 +12,10 @@ Sub-commands mirror the flows of the paper:
 
 ``tybec explore --kernel sor --max-lanes 16``
     Generate lane variants by type transformation, cost each one and print
-    the Figure-15 style sweep table.
+    the Figure-15 style sweep table.  With ``--clocks``, ``--forms`` or
+    ``--patterns`` the sweep becomes a multi-axis design-space exploration;
+    ``--jobs N`` fans the estimations out over N worker processes and
+    ``--pareto`` prints the throughput/utilisation Pareto frontier.
 
 ``tybec calibrate --device stratix-v``
     Run the one-time per-device characterisation and print (or save) the
@@ -32,9 +35,16 @@ from pathlib import Path
 
 from repro.compiler import CompilationOptions, TybecCompiler
 from repro.cost import SustainedBandwidthModel, calibrate_device
-from repro.explore import exhaustive_search, generate_lane_variants
+from repro.explore import (
+    DesignSpace,
+    ExplorationEngine,
+    ProcessPoolBackend,
+    SerialBackend,
+    exhaustive_search,
+    generate_lane_variants,
+)
 from repro.kernels import ALL_KERNELS, get_kernel
-from repro.models import KernelInstance, NDRange
+from repro.models import KernelInstance, NDRange, PatternKind
 from repro.substrate import MemorySystemSimulator, SyntheticSynthesizer, get_device
 
 __all__ = ["main", "build_parser"]
@@ -62,12 +72,26 @@ def build_parser() -> argparse.ArgumentParser:
     emit.add_argument("--device", default="stratix-v")
     emit.add_argument("--no-wrapper", action="store_true")
 
-    explore = sub.add_parser("explore", help="explore lane variants of a kernel")
+    explore = sub.add_parser("explore", help="explore design variants of a kernel")
     explore.add_argument("--kernel", choices=sorted(ALL_KERNELS), default="sor")
     explore.add_argument("--device", default="stratix-v")
     explore.add_argument("--grid", type=int, nargs="+", default=None)
     explore.add_argument("--iterations", type=int, default=1000)
     explore.add_argument("--max-lanes", type=int, default=16)
+    explore.add_argument("--lanes", type=int, nargs="+", default=None,
+                         help="explicit lane counts (overrides --max-lanes)")
+    explore.add_argument("--clocks", type=float, nargs="+", default=None, metavar="MHZ",
+                         help="clock-frequency axis (device fmax when omitted)")
+    explore.add_argument("--forms", nargs="+", default=None,
+                         choices=["auto", "A", "B", "C"],
+                         help="memory-execution form axis")
+    explore.add_argument("--patterns", nargs="+", default=None,
+                         choices=[p.value for p in PatternKind],
+                         help="access-pattern axis")
+    explore.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                         help="cost variants on N worker processes")
+    explore.add_argument("--pareto", action="store_true",
+                         help="report the throughput/utilisation Pareto frontier")
     explore.add_argument("--json", action="store_true")
 
     calibrate = sub.add_parser("calibrate", help="run the one-time device characterisation")
@@ -114,13 +138,87 @@ def _cmd_emit(args) -> int:
     return 0
 
 
+def _explore_backend(args):
+    """The evaluation backend the CLI flags imply (None = caller default)."""
+    if args.jobs and args.jobs > 1:
+        return ProcessPoolBackend(max_workers=args.jobs)
+    return None
+
+
+def _cmd_explore_space(args, kernel, grid) -> int:
+    """Multi-axis exploration through the engine (clock/form/pattern axes)."""
+    space = DesignSpace(
+        kernel=kernel,
+        grid=grid,
+        iterations=args.iterations,
+        lanes=args.lanes,
+        max_lanes=args.max_lanes,
+        clocks_mhz=tuple(args.clocks) if args.clocks else (None,),
+        forms=tuple(args.forms) if args.forms else ("auto",),
+        devices=(get_device(args.device),),
+        patterns=tuple(PatternKind(p) for p in args.patterns) if args.patterns else (
+            PatternKind.CONTIGUOUS,),
+    )
+    if len(space) == 0:
+        print(f"no valid lane counts for grid {grid} "
+              f"(lanes must divide the NDRange size)", file=sys.stderr)
+        return 2
+    engine = ExplorationEngine(_explore_backend(args))
+    sweep = engine.explore(space)
+    frontier = sweep.pareto_frontier() if args.pareto else []
+    best = sweep.best()
+
+    if args.json:
+        print(json.dumps({
+            "axes": space.axis_sizes(),
+            "rows": sweep.summary_rows(),
+            "best": best.point.as_dict() if best else None,
+            "pareto": [entry.point.as_dict() for entry in frontier],
+            "evaluated": sweep.evaluated,
+            "wall_seconds": sweep.wall_seconds,
+            "variants_per_second": sweep.variants_per_second,
+        }, indent=2))
+        return 0
+
+    axes = ", ".join(f"{n}={s}" for n, s in space.axis_sizes().items() if s > 1) or "lanes=1"
+    print(f"exploring {space.kernel.name} on {args.device}, grid {tuple(space.grid)}, "
+          f"{space.iterations} iterations ({len(space)} points; axes: {axes})")
+    header = (f"{'lanes':>5} {'MHz':>6} {'form':>4} {'pattern':>10} {'EWGT/s':>12} "
+              f"{'ALUT%':>7} {'limiting':>16} {'ok':>3}")
+    print(header)
+    print("-" * len(header))
+    for row in sweep.summary_rows():
+        print(f"{row['lanes']:>5} {row['clock_mhz']:>6.0f} {row['form']:>4} "
+              f"{row['pattern']:>10} {row['ewgt_per_s']:>12.2f} {row['alut_pct']:>7.2f} "
+              f"{row['limiting_factor']:>16} {'y' if row['feasible'] else 'n':>3}")
+    if best is not None:
+        print(f"best feasible point: {best.point.label}")
+    if args.pareto:
+        print("Pareto frontier (EKIT vs limiting-resource utilisation):")
+        for entry in frontier:
+            print(f"  {entry.point.label}: EKIT {entry.report.ekit:.3f}/s, "
+                  f"worst utilisation "
+                  f"{entry.report.feasibility.limiting_resource_utilization*100:.1f}%")
+    print(f"estimated {sweep.evaluated} variants in {sweep.wall_seconds:.3f} s "
+          f"({sweep.variants_per_second:.1f} variants/s)")
+    return 0
+
+
 def _cmd_explore(args) -> int:
     kernel = get_kernel(args.kernel)
     grid = tuple(args.grid) if args.grid else kernel.default_grid
+    multi_axis = any((args.clocks, args.forms, args.patterns)) or args.pareto
+    if multi_axis:
+        return _cmd_explore_space(args, kernel, grid)
+
     compiler = TybecCompiler(CompilationOptions(device=get_device(args.device)))
     variants = generate_lane_variants(kernel, grid=grid, iterations=args.iterations,
-                                      max_lanes=args.max_lanes)
-    result = exhaustive_search(compiler, variants)
+                                      max_lanes=args.max_lanes, lane_counts=args.lanes)
+    if not variants:
+        print(f"no valid lane counts for grid {grid} "
+              f"(lanes must divide the NDRange size)", file=sys.stderr)
+        return 2
+    result = exhaustive_search(compiler, variants, backend=_explore_backend(args))
     rows = result.summary_rows()
     if args.json:
         print(json.dumps({"rows": rows, "best_lanes": result.best_lanes}, indent=2))

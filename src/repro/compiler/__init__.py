@@ -34,6 +34,12 @@ from repro.compiler.scheduling import (
     ScheduledPipeline,
     schedule_function,
 )
+from repro.compiler.pipeline import (
+    CalibrationArtifacts,
+    EstimationPipeline,
+    PipelineCacheStats,
+    module_content_key,
+)
 from repro.compiler.driver import CompilationOptions, CompiledVariant, TybecCompiler
 
 __all__ = [
@@ -48,4 +54,8 @@ __all__ = [
     "CompilationOptions",
     "CompiledVariant",
     "TybecCompiler",
+    "CalibrationArtifacts",
+    "EstimationPipeline",
+    "PipelineCacheStats",
+    "module_content_key",
 ]

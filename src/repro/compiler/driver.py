@@ -7,100 +7,37 @@ integration glue.  The estimation path is deliberately light-weight — the
 paper reports ~0.3 s per variant against ~70 s for an HLS tool's
 preliminary estimate — and the driver records its own wall-clock time so
 the estimator-speed experiment can be reproduced.
+
+The estimation flow itself lives in
+:class:`repro.compiler.pipeline.EstimationPipeline`; the driver is the
+facade that combines it with code generation and the ground-truth
+substrates (synthesis, cycle simulation).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
-from repro.compiler.analysis import (
-    ConfigurationTree,
-    ModuleClassification,
-    build_configuration_tree,
-    classify_module,
-)
 from repro.compiler.codegen.verilog import VerilogGenerator
 from repro.compiler.codegen.wrapper import generate_host_stub, generate_maxj_wrapper
-from repro.compiler.scheduling import (
-    OperatorLatencyModel,
-    ScheduledPipeline,
-    pipeline_spec_from_schedule,
-    schedule_module,
+from repro.compiler.pipeline import (
+    CompilationOptions,
+    CompiledVariant,
+    EstimationPipeline,
 )
 from repro.cost.bandwidth import SustainedBandwidthModel
-from repro.cost.calibration import DeviceCostDB, calibrate_device
-from repro.cost.report import CostReport, FeasibilityCheck
-from repro.cost.resource_model import ModuleResourceEstimate, ModuleStructure, ResourceEstimator
-from repro.cost.throughput import EKITParameters, estimate_throughput
-from repro.ir import parse_module
+from repro.cost.calibration import DeviceCostDB
+from repro.cost.report import CostReport
+from repro.cost.resource_model import ModuleStructure
 from repro.ir.functions import Module
 from repro.ir.validator import validate_module
 from repro.models.execution import KernelInstance
-from repro.models.memory_execution import (
-    FormSelection,
-    MemoryExecutionForm,
-    select_memory_execution_form,
-)
+from repro.models.memory_execution import FormSelection, MemoryExecutionForm
 from repro.models.streaming import AccessPattern, PatternKind
-from repro.substrate.fpga_device import FPGADevice, MAIA_STRATIX_V_GSD8
 from repro.substrate.memory_sim import MemorySystemSimulator
-from repro.substrate.pipeline_sim import PipelineSimulator, PipelineSpec, SimulationResult
+from repro.substrate.pipeline_sim import PipelineSimulator, SimulationResult
 from repro.substrate.synthesis import ResourceUsage, SyntheticSynthesizer
+from repro.cost.throughput import EKITParameters
 
 __all__ = ["CompilationOptions", "CompiledVariant", "TybecCompiler"]
-
-
-@dataclass
-class CompilationOptions:
-    """Configuration of a TyBEC compilation session.
-
-    All empirically-derived inputs (the cost database and the bandwidth
-    models) are built automatically from the substrate the first time they
-    are needed and cached — mirroring the one-time per-device calibration
-    of Figure 2 — but can be injected explicitly (e.g. the paper's own
-    Figure-10 table).
-    """
-
-    device: FPGADevice = MAIA_STRATIX_V_GSD8
-    clock_mhz: float | None = None
-    cost_db: DeviceCostDB | None = None
-    dram_bandwidth: SustainedBandwidthModel | None = None
-    host_bandwidth: SustainedBandwidthModel | None = None
-    latency_model: OperatorLatencyModel = field(default_factory=OperatorLatencyModel)
-    form: str | MemoryExecutionForm = "auto"
-    synthesis_noise: float = 0.025
-
-    def resolved_clock_mhz(self) -> float:
-        return self.clock_mhz if self.clock_mhz is not None else self.device.fmax_mhz
-
-
-@dataclass
-class CompiledVariant:
-    """Everything the compiler derives from one design variant's IR."""
-
-    module: Module
-    structure: ModuleStructure
-    configuration: ConfigurationTree
-    classification: ModuleClassification
-    schedules: dict[str, ScheduledPipeline]
-    pipeline_spec: PipelineSpec
-
-    @property
-    def name(self) -> str:
-        return self.module.name
-
-    @property
-    def lanes(self) -> int:
-        return self.structure.lanes
-
-    @property
-    def pipeline_depth(self) -> int:
-        return self.pipeline_spec.pipeline_depth
-
-    @property
-    def balancing_register_bits(self) -> int:
-        return sum(s.balancing_register_bits + s.input_delay_bits for s in self.schedules.values())
 
 
 class TybecCompiler:
@@ -108,79 +45,42 @@ class TybecCompiler:
 
     def __init__(self, options: CompilationOptions | None = None):
         self.options = options or CompilationOptions()
-        self._memory_sim: MemorySystemSimulator | None = None
+        self.pipeline = EstimationPipeline(self.options)
 
     # ------------------------------------------------------------------
-    # One-time per-device inputs (lazily built and cached)
+    # One-time per-device inputs (lazily built and process-wide cached)
     # ------------------------------------------------------------------
     @property
     def memory_simulator(self) -> MemorySystemSimulator:
-        if self._memory_sim is None:
-            self._memory_sim = MemorySystemSimulator(self.options.device)
-        return self._memory_sim
+        return self.pipeline.memory_simulator
 
     @property
     def cost_db(self) -> DeviceCostDB:
-        if self.options.cost_db is None:
-            synthesizer = SyntheticSynthesizer(self.options.device, self.options.synthesis_noise)
-            self.options.cost_db = calibrate_device(
-                synthesizer.characterize(), dsp_input_width=self.options.device.dsp_input_width
-            )
-        return self.options.cost_db
+        return self.pipeline.cost_db
 
     @property
     def dram_bandwidth(self) -> SustainedBandwidthModel:
-        if self.options.dram_bandwidth is None:
-            self.options.dram_bandwidth = SustainedBandwidthModel.from_simulator(
-                self.memory_simulator, name=f"{self.options.device.name}-dram"
-            )
-        return self.options.dram_bandwidth
+        return self.pipeline.dram_bandwidth
 
     @property
     def host_bandwidth(self) -> SustainedBandwidthModel:
-        if self.options.host_bandwidth is None:
-            self.options.host_bandwidth = SustainedBandwidthModel.host_from_simulator(
-                self.memory_simulator, name=f"{self.options.device.name}-host"
-            )
-        return self.options.host_bandwidth
+        return self.pipeline.host_bandwidth
 
     # ------------------------------------------------------------------
     # Front door: parsing and analysis
     # ------------------------------------------------------------------
     def parse(self, text: str, name: str = "design") -> Module:
-        module = parse_module(text, name=name)
-        validate_module(module)
-        return module
+        return self.pipeline.parse(text, name)
 
     def analyze(self, module: Module) -> CompiledVariant:
         """Run the structural part of the estimation flow."""
-        validate_module(module)
-        structure = ModuleStructure.from_module(module)
-        tree = build_configuration_tree(module)
-        classification = classify_module(module)
-        schedules = schedule_module(module, self.options.latency_model)
-        spec = pipeline_spec_from_schedule(
-            module, structure, schedules, clock_mhz=self.options.resolved_clock_mhz()
-        )
-        return CompiledVariant(
-            module=module,
-            structure=structure,
-            configuration=tree,
-            classification=classification,
-            schedules=schedules,
-            pipeline_spec=spec,
-        )
+        return self.pipeline.analyze(module)
 
     # ------------------------------------------------------------------
     # Parameter extraction and costing
     # ------------------------------------------------------------------
     def _select_form(self, footprint_bytes: int) -> FormSelection:
-        if self.options.form != "auto":
-            form = MemoryExecutionForm(self.options.form)
-            return FormSelection(form, footprint_bytes, "forced by compilation options")
-        return select_memory_execution_form(
-            footprint_bytes, self.options.device.memory_hierarchy()
-        )
+        return self.pipeline.select_form(footprint_bytes)
 
     def extract_parameters(
         self,
@@ -189,68 +89,7 @@ class TybecCompiler:
         pattern: AccessPattern | PatternKind = PatternKind.CONTIGUOUS,
     ) -> tuple[EKITParameters, FormSelection]:
         """Derive the Table-I parameters for a variant and a workload."""
-        structure = variant.structure
-        word_bytes = max(1, (structure.element_width + 7) // 8)
-        nwpt = structure.words_per_item
-        footprint = workload.global_size * nwpt * word_bytes
-        selection = self._select_form(footprint)
-
-        device = self.options.device
-        dram = self.dram_bandwidth
-        host = self.host_bandwidth
-        params = EKITParameters.for_pipelined_design(
-            hpb_gbps=host.peak_gbps,
-            rho_h=host.rho(footprint),
-            gpb_gbps=dram.peak_gbps,
-            rho_g=dram.rho(footprint, pattern),
-            ngs=workload.global_size,
-            nwpt=nwpt,
-            nki=workload.repetitions,
-            noff=structure.max_offset_span_words,
-            kpd=variant.pipeline_spec.pipeline_depth,
-            fd_mhz=self.options.resolved_clock_mhz(),
-            ni=structure.instructions_per_pe,
-            knl=structure.lanes,
-            dv=variant.pipeline_spec.vectorization,
-            initiation_interval=1.0,
-            word_bytes=word_bytes,
-        )
-        _ = device
-        return params, selection
-
-    def _feasibility(
-        self,
-        estimate: ModuleResourceEstimate,
-        params: EKITParameters,
-        form: MemoryExecutionForm,
-    ) -> FeasibilityCheck:
-        usage = estimate.total
-        device = self.options.device
-        limiting, util = usage.limiting_resource(device)
-
-        # bandwidth demanded when the pipelines run at full rate
-        words_per_second = params.knl * params.dv * params.fd_hz
-        full_rate = words_per_second * params.nwpt * params.word_bytes / 1e9
-        if form is MemoryExecutionForm.C:
-            # data resident in on-chip local memory: DRAM only sees the
-            # one-off staging transfer, which is never the constraint
-            required_dram = 0.0
-            required_host = full_rate / params.nki
-        elif form is MemoryExecutionForm.B:
-            required_dram = full_rate
-            required_host = full_rate / params.nki
-        else:
-            required_dram = full_rate
-            required_host = full_rate
-        return FeasibilityCheck(
-            fits_resources=usage.fits(device),
-            limiting_resource=limiting,
-            limiting_resource_utilization=util,
-            required_dram_gbps=required_dram,
-            available_dram_gbps=params.sustained_dram_gbps,
-            required_host_gbps=required_host,
-            available_host_gbps=params.sustained_host_gbps,
-        )
+        return self.pipeline.extract_parameters(variant, workload, pattern)
 
     def cost(
         self,
@@ -259,38 +98,11 @@ class TybecCompiler:
         pattern: AccessPattern | PatternKind = PatternKind.CONTIGUOUS,
     ) -> CostReport:
         """Cost one design variant for one workload (the Figure-2 use-case)."""
-        # make sure the one-time inputs are ready so they are not billed to
-        # the per-variant estimation time (the paper's 0.3 s figure is per
-        # variant, with calibration done once per device)
-        _ = self.cost_db, self.dram_bandwidth, self.host_bandwidth
+        return self.pipeline.cost(module, workload, pattern)
 
-        started = time.perf_counter()
-        if isinstance(module, str):
-            module = self.parse(module)
-        variant = self.analyze(module)
-        estimator = ResourceEstimator(self.cost_db)
-        resources = estimator.estimate_module(module)
-        # the estimation flow of Figure 11 also accounts for the data/control
-        # delay lines the scheduler implies (pipeline balancing registers),
-        # replicated once per lane
-        balancing = ResourceUsage(
-            reg=variant.balancing_register_bits * variant.structure.lanes
-        )
-        resources.total += balancing
-        params, selection = self.extract_parameters(variant, workload, pattern)
-        throughput = estimate_throughput(params, selection.form)
-        feasibility = self._feasibility(resources, params, selection.form)
-        elapsed = time.perf_counter() - started
-
-        return CostReport(
-            design=module.name,
-            device=self.options.device,
-            resources=resources,
-            throughput=throughput,
-            feasibility=feasibility,
-            estimation_seconds=elapsed,
-            notes=[f"memory-execution form {selection.form.value}: {selection.reason}"],
-        )
+    def cost_many(self, jobs) -> list[CostReport]:
+        """Cost a batch of (module, workload[, pattern]) jobs in order."""
+        return self.pipeline.cost_many(jobs)
 
     # ------------------------------------------------------------------
     # Code generation

@@ -1,0 +1,705 @@
+"""The staged estimation pipeline with content-keyed memoization.
+
+The paper's value proposition is estimator *speed*: ~0.3 s per variant
+against ~70 s for an HLS tool's preliminary estimate, which is what makes
+design-space exploration practical at all.  The original driver exposed the
+estimation flow of Figure 11 as one monolithic ``cost()`` call that redid
+every step for every variant.  This module decomposes the flow into
+explicit, individually cacheable stages — the composable-flow architecture
+of modern EDA runners:
+
+``ParseStage``
+    TyTra-IR text → validated :class:`~repro.ir.functions.Module`
+    (memoized on the source text).
+``AnalysisStage``
+    Module → :class:`CompiledVariant` (structure, configuration tree,
+    classification, schedules, pipeline spec), memoized on the module's
+    *content hash* so structurally identical variants are analysed once.
+``ResourceStage``
+    Module → :class:`~repro.cost.resource_model.ModuleResourceEstimate`
+    including the scheduler-implied pipeline-balancing registers, memoized
+    on the same content hash.
+``ThroughputStage``
+    Variant + workload → Table-I parameters, memory-execution form and the
+    EKIT estimate (cheap, computed per workload).
+``FeasibilityStage``
+    Resources + parameters → the Figure-2 validity verdict.
+
+The expensive one-time per-device inputs (synthetic-synthesis
+characterisation, DRAM/host sustained-bandwidth fits) are shared across
+*all* pipelines in the process through a module-level calibration cache, so
+an exploration engine costing thousands of design points across several
+option sets pays for each device exactly once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.compiler.analysis import (
+    ConfigurationTree,
+    ModuleClassification,
+    build_configuration_tree,
+    classify_module,
+)
+from repro.compiler.scheduling import (
+    OperatorLatencyModel,
+    ScheduledPipeline,
+    pipeline_spec_from_schedule,
+    schedule_module,
+)
+from repro.cost.bandwidth import SustainedBandwidthModel
+from repro.cost.calibration import DeviceCostDB, calibrate_device
+from repro.cost.report import CostReport, FeasibilityCheck
+from repro.cost.resource_model import ModuleResourceEstimate, ModuleStructure, ResourceEstimator
+from repro.cost.throughput import EKITParameters, estimate_throughput
+from repro.ir import parse_module
+from repro.ir.functions import Module
+from repro.ir.printer import print_module
+from repro.ir.validator import validate_module
+from repro.models.execution import KernelInstance
+from repro.models.memory_execution import (
+    FormSelection,
+    MemoryExecutionForm,
+    select_memory_execution_form,
+)
+from repro.models.streaming import AccessPattern, PatternKind
+from repro.substrate.fpga_device import FPGADevice, MAIA_STRATIX_V_GSD8
+from repro.substrate.memory_sim import MemorySystemSimulator
+from repro.substrate.pipeline_sim import PipelineSpec
+from repro.substrate.synthesis import ResourceUsage, SyntheticSynthesizer
+
+__all__ = [
+    "CompilationOptions",
+    "CompiledVariant",
+    "CalibrationArtifacts",
+    "PipelineCacheStats",
+    "EstimationPipeline",
+    "module_content_key",
+    "clear_calibration_cache",
+]
+
+
+@dataclass
+class CompilationOptions:
+    """Configuration of a TyBEC compilation session.
+
+    All empirically-derived inputs (the cost database and the bandwidth
+    models) are built automatically from the substrate the first time they
+    are needed and cached — mirroring the one-time per-device calibration
+    of Figure 2 — but can be injected explicitly (e.g. the paper's own
+    Figure-10 table).  Instances are pickle-safe, so an option set can be
+    shipped to :mod:`concurrent.futures` worker processes together with the
+    design variants to cost.
+    """
+
+    device: FPGADevice = MAIA_STRATIX_V_GSD8
+    clock_mhz: float | None = None
+    cost_db: DeviceCostDB | None = None
+    dram_bandwidth: SustainedBandwidthModel | None = None
+    host_bandwidth: SustainedBandwidthModel | None = None
+    latency_model: OperatorLatencyModel = field(default_factory=OperatorLatencyModel)
+    form: str | MemoryExecutionForm = "auto"
+    synthesis_noise: float = 0.025
+
+    def resolved_clock_mhz(self) -> float:
+        return self.clock_mhz if self.clock_mhz is not None else self.device.fmax_mhz
+
+    def session_key(self) -> tuple:
+        """Hashable identity of the estimation session these options define.
+
+        Two option sets with the same key produce identical cost reports,
+        so a pipeline (and its caches) can be shared among them.  Injected
+        models are distinguished by object identity — the key is only
+        meaningful within one process, and only *before* calibration
+        lazily fills the model fields in.
+        """
+        lat = self.latency_model
+        return (
+            self.device,
+            self.resolved_clock_mhz(),
+            str(self.form.value if isinstance(self.form, MemoryExecutionForm) else self.form),
+            self.synthesis_noise,
+            (lat.div_cycles_per_bit, lat.sqrt_cycles_per_bit, lat.input_stage_cycles),
+            id(self.cost_db) if self.cost_db is not None else None,
+            id(self.dram_bandwidth) if self.dram_bandwidth is not None else None,
+            id(self.host_bandwidth) if self.host_bandwidth is not None else None,
+        )
+
+
+@dataclass
+class CompiledVariant:
+    """Everything the compiler derives from one design variant's IR."""
+
+    module: Module
+    structure: ModuleStructure
+    configuration: ConfigurationTree
+    classification: ModuleClassification
+    schedules: dict[str, ScheduledPipeline]
+    pipeline_spec: PipelineSpec
+    #: content hash of the module (the memoization key of the variant)
+    content_key: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.module.name
+
+    @property
+    def lanes(self) -> int:
+        return self.structure.lanes
+
+    @property
+    def pipeline_depth(self) -> int:
+        return self.pipeline_spec.pipeline_depth
+
+    @property
+    def balancing_register_bits(self) -> int:
+        return sum(s.balancing_register_bits + s.input_delay_bits for s in self.schedules.values())
+
+
+def module_content_key(module: Module) -> str:
+    """A stable content hash of a module's canonical IR text."""
+    return hashlib.sha256(print_module(module).encode()).hexdigest()
+
+
+class _BoundedCache:
+    """A small LRU cache (plain dict + recency eviction, thread-safe)."""
+
+    def __init__(self, maxsize: int = 256):
+        self.maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key):
+        with self._lock:
+            if key not in self._data:
+                return None
+            self._data.move_to_end(key)
+            return self._data[key]
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+
+@dataclass
+class PipelineCacheStats:
+    """Hit/miss counters of the pipeline's memoization layers."""
+
+    parse_hits: int = 0
+    parse_misses: int = 0
+    variant_hits: int = 0
+    variant_misses: int = 0
+    resource_hits: int = 0
+    resource_misses: int = 0
+    calibration_hits: int = 0
+    calibration_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.parse_hits + self.variant_hits + self.resource_hits + self.calibration_hits
+
+    @property
+    def misses(self) -> int:
+        return (
+            self.parse_misses + self.variant_misses + self.resource_misses
+            + self.calibration_misses
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "parse": [self.parse_hits, self.parse_misses],
+            "variant": [self.variant_hits, self.variant_misses],
+            "resource": [self.resource_hits, self.resource_misses],
+            "calibration": [self.calibration_hits, self.calibration_misses],
+        }
+
+
+# ----------------------------------------------------------------------
+# Per-device calibration artifacts (process-wide, built once per device)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CalibrationArtifacts:
+    """The one-time per-device inputs of Figure 2."""
+
+    memory_simulator: MemorySystemSimulator
+    cost_db: DeviceCostDB
+    dram_bandwidth: SustainedBandwidthModel
+    host_bandwidth: SustainedBandwidthModel
+    #: True when ``cost_db`` is the process-wide default calibration for
+    #: the device (safe to share derived results across pipelines), False
+    #: when the caller injected its own database
+    shared_cost_db: bool = True
+
+
+_CALIBRATION_LOCK = threading.Lock()
+_MEMSIM_CACHE: dict = {}
+_COSTDB_CACHE: dict = {}
+_DRAM_CACHE: dict = {}
+_HOST_CACHE: dict = {}
+
+
+def clear_calibration_cache() -> None:
+    """Drop every process-wide cache (calibration, structural analysis,
+    shared resource estimates) — for tests."""
+    with _CALIBRATION_LOCK:
+        _MEMSIM_CACHE.clear()
+        _COSTDB_CACHE.clear()
+        _DRAM_CACHE.clear()
+        _HOST_CACHE.clear()
+    _STRUCTURAL_CACHE.clear()
+    _RESOURCE_CACHE.clear()
+
+
+def _shared_memory_simulator(device: FPGADevice) -> MemorySystemSimulator:
+    with _CALIBRATION_LOCK:
+        sim = _MEMSIM_CACHE.get(device)
+        if sim is None:
+            sim = _MEMSIM_CACHE[device] = MemorySystemSimulator(device)
+        return sim
+
+
+class CalibrationStage:
+    """Resolve the per-device calibration artifacts for an option set.
+
+    Injected models (``options.cost_db`` etc.) win; everything else comes
+    from the process-wide cache, calibrated on first use.  Resolved models
+    are written back into the options — preserving the original driver's
+    lazy-fill behaviour, and making a later pickle of the options carry the
+    calibration to worker processes for free.
+    """
+
+    def run(self, options: CompilationOptions, stats: PipelineCacheStats) -> CalibrationArtifacts:
+        device = options.device
+        sim = _shared_memory_simulator(device)
+        missed = False
+
+        if options.cost_db is None:
+            key = (device, options.synthesis_noise)
+            with _CALIBRATION_LOCK:
+                db = _COSTDB_CACHE.get(key)
+            if db is None:
+                missed = True
+                synthesizer = SyntheticSynthesizer(device, options.synthesis_noise)
+                db = calibrate_device(
+                    synthesizer.characterize(), dsp_input_width=device.dsp_input_width
+                )
+                with _CALIBRATION_LOCK:
+                    _COSTDB_CACHE[key] = db
+            options.cost_db = db
+
+        if options.dram_bandwidth is None:
+            with _CALIBRATION_LOCK:
+                dram = _DRAM_CACHE.get(device)
+            if dram is None:
+                missed = True
+                dram = SustainedBandwidthModel.from_simulator(sim, name=f"{device.name}-dram")
+                with _CALIBRATION_LOCK:
+                    _DRAM_CACHE[device] = dram
+            options.dram_bandwidth = dram
+
+        if options.host_bandwidth is None:
+            with _CALIBRATION_LOCK:
+                host = _HOST_CACHE.get(device)
+            if host is None:
+                missed = True
+                host = SustainedBandwidthModel.host_from_simulator(
+                    sim, name=f"{device.name}-host"
+                )
+                with _CALIBRATION_LOCK:
+                    _HOST_CACHE[device] = host
+            options.host_bandwidth = host
+
+        if missed:
+            stats.calibration_misses += 1
+        else:
+            stats.calibration_hits += 1
+        with _CALIBRATION_LOCK:
+            shared = options.cost_db is _COSTDB_CACHE.get((device, options.synthesis_noise))
+        return CalibrationArtifacts(
+            memory_simulator=sim,
+            cost_db=options.cost_db,
+            dram_bandwidth=options.dram_bandwidth,
+            host_bandwidth=options.host_bandwidth,
+            shared_cost_db=shared,
+        )
+
+
+# ----------------------------------------------------------------------
+# The structural stages
+# ----------------------------------------------------------------------
+
+
+class ParseStage:
+    """TyTra-IR text → validated module (memoized on the source text)."""
+
+    def __init__(self, maxsize: int = 128):
+        self._cache = _BoundedCache(maxsize)
+
+    def run(self, text: str, name: str, stats: PipelineCacheStats) -> Module:
+        key = (hashlib.sha256(text.encode()).hexdigest(), name)
+        module = self._cache.get(key)
+        if module is not None:
+            stats.parse_hits += 1
+            return module
+        stats.parse_misses += 1
+        module = parse_module(text, name=name)
+        validate_module(module)
+        self._cache.put(key, module)
+        return module
+
+
+def _latency_key(options: CompilationOptions) -> tuple:
+    lat = options.latency_model
+    return (lat.div_cycles_per_bit, lat.sqrt_cycles_per_bit, lat.input_stage_cycles)
+
+
+#: process-wide cache of the clock-independent structural analysis
+#: (structure, configuration tree, classification, schedules), keyed on
+#: (content hash, latency model) — shared by every pipeline so a clock
+#: axis in a sweep does not re-analyse identical modules per clock value
+_STRUCTURAL_CACHE = _BoundedCache(512)
+
+
+class AnalysisStage:
+    """Module → :class:`CompiledVariant`, memoized on content hash.
+
+    Only the pipeline spec depends on the clock; the structural bundle is
+    memoized process-wide on (content, latency model) and reused across
+    pipelines — e.g. across the clock axis of a multi-axis sweep.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        self._cache = _BoundedCache(maxsize)
+
+    def run(
+        self, module: Module, options: CompilationOptions, stats: PipelineCacheStats
+    ) -> CompiledVariant:
+        content = module_content_key(module)
+        lat_key = _latency_key(options)
+        key = (content, options.resolved_clock_mhz(), lat_key)
+        variant = self._cache.get(key)
+        if variant is not None:
+            stats.variant_hits += 1
+            return variant
+        stats.variant_misses += 1
+
+        bundle = _STRUCTURAL_CACHE.get((content, lat_key))
+        if bundle is None:
+            validate_module(module)
+            structure = ModuleStructure.from_module(module)
+            tree = build_configuration_tree(module)
+            classification = classify_module(module)
+            schedules = schedule_module(module, options.latency_model)
+            bundle = (structure, tree, classification, schedules)
+            _STRUCTURAL_CACHE.put((content, lat_key), bundle)
+        structure, tree, classification, schedules = bundle
+        spec = pipeline_spec_from_schedule(
+            module, structure, schedules, clock_mhz=options.resolved_clock_mhz()
+        )
+        variant = CompiledVariant(
+            module=module,
+            structure=structure,
+            configuration=tree,
+            classification=classification,
+            schedules=schedules,
+            pipeline_spec=spec,
+            content_key=content,
+        )
+        self._cache.put(key, variant)
+        return variant
+
+
+#: process-wide resource-estimate cache for default-calibrated devices,
+#: keyed on (content, latency model, device, noise) — the estimate does
+#: not depend on the clock, so the clock axis of a sweep shares it
+_RESOURCE_CACHE = _BoundedCache(512)
+
+
+class ResourceStage:
+    """Variant → resource estimate (balancing registers included).
+
+    The estimate depends on the module content, the latency model (via
+    the scheduler's balancing registers) and the cost database — not the
+    clock — and is memoized accordingly: per-pipeline always, and
+    process-wide when the cost database is the shared default calibration
+    for the device.  Every call returns a fresh shell around the cached
+    breakdown (own ``total``, own ``functions`` list), so a caller
+    adjusting a report's resources — as the pre-pipeline driver itself
+    did with balancing registers — cannot corrupt other reports or future
+    cache hits.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        self._cache = _BoundedCache(maxsize)
+
+    @staticmethod
+    def _fresh_view(estimate: ModuleResourceEstimate) -> ModuleResourceEstimate:
+        return ModuleResourceEstimate(
+            design=estimate.design,
+            total=ResourceUsage(**estimate.total.as_dict()),
+            functions=list(estimate.functions),
+            offset_buffers=estimate.offset_buffers,
+            stream_control=estimate.stream_control,
+            structure=estimate.structure,
+        )
+
+    def run(
+        self,
+        variant: CompiledVariant,
+        calibration: CalibrationArtifacts,
+        options: CompilationOptions,
+        stats: PipelineCacheStats,
+    ) -> ModuleResourceEstimate:
+        content = variant.content_key or module_content_key(variant.module)
+        key = (content, _latency_key(options))
+        estimate = self._cache.get(key)
+        if estimate is not None:
+            stats.resource_hits += 1
+            return self._fresh_view(estimate)
+
+        shared_key = None
+        if calibration.shared_cost_db:
+            shared_key = key + (options.device, options.synthesis_noise)
+            estimate = _RESOURCE_CACHE.get(shared_key)
+            if estimate is not None:
+                stats.resource_hits += 1
+                self._cache.put(key, estimate)
+                return self._fresh_view(estimate)
+
+        stats.resource_misses += 1
+        estimator = ResourceEstimator(calibration.cost_db)
+        estimate = estimator.estimate_module(variant.module)
+        # the estimation flow of Figure 11 also accounts for the data/control
+        # delay lines the scheduler implies (pipeline balancing registers),
+        # replicated once per lane
+        estimate.total += ResourceUsage(
+            reg=variant.balancing_register_bits * variant.structure.lanes
+        )
+        self._cache.put(key, estimate)
+        if shared_key is not None:
+            _RESOURCE_CACHE.put(shared_key, estimate)
+        return self._fresh_view(estimate)
+
+
+class ThroughputStage:
+    """Variant + workload → Table-I parameters, form and EKIT estimate."""
+
+    def select_form(self, footprint_bytes: int, options: CompilationOptions) -> FormSelection:
+        if options.form != "auto":
+            form = MemoryExecutionForm(options.form)
+            return FormSelection(form, footprint_bytes, "forced by compilation options")
+        return select_memory_execution_form(footprint_bytes, options.device.memory_hierarchy())
+
+    def extract_parameters(
+        self,
+        variant: CompiledVariant,
+        workload: KernelInstance,
+        pattern: AccessPattern | PatternKind,
+        options: CompilationOptions,
+        calibration: CalibrationArtifacts,
+    ) -> tuple[EKITParameters, FormSelection]:
+        """Derive the Table-I parameters for a variant and a workload."""
+        structure = variant.structure
+        word_bytes = max(1, (structure.element_width + 7) // 8)
+        nwpt = structure.words_per_item
+        footprint = workload.global_size * nwpt * word_bytes
+        selection = self.select_form(footprint, options)
+
+        dram = calibration.dram_bandwidth
+        host = calibration.host_bandwidth
+        params = EKITParameters.for_pipelined_design(
+            hpb_gbps=host.peak_gbps,
+            rho_h=host.rho(footprint),
+            gpb_gbps=dram.peak_gbps,
+            rho_g=dram.rho(footprint, pattern),
+            ngs=workload.global_size,
+            nwpt=nwpt,
+            nki=workload.repetitions,
+            noff=structure.max_offset_span_words,
+            kpd=variant.pipeline_spec.pipeline_depth,
+            fd_mhz=options.resolved_clock_mhz(),
+            ni=structure.instructions_per_pe,
+            knl=structure.lanes,
+            dv=variant.pipeline_spec.vectorization,
+            initiation_interval=1.0,
+            word_bytes=word_bytes,
+        )
+        return params, selection
+
+
+class FeasibilityStage:
+    """Resources + parameters → the Figure-2 validity verdict."""
+
+    def run(
+        self,
+        estimate: ModuleResourceEstimate,
+        params: EKITParameters,
+        form: MemoryExecutionForm,
+        options: CompilationOptions,
+    ) -> FeasibilityCheck:
+        usage = estimate.total
+        device = options.device
+        limiting, util = usage.limiting_resource(device)
+
+        # bandwidth demanded when the pipelines run at full rate
+        words_per_second = params.knl * params.dv * params.fd_hz
+        full_rate = words_per_second * params.nwpt * params.word_bytes / 1e9
+        if form is MemoryExecutionForm.C:
+            # data resident in on-chip local memory: both the DRAM and the
+            # host link only see the one-off staging transfer, which
+            # stretches the fill time (already in the throughput model) but
+            # is never a sustained-rate constraint
+            required_dram = 0.0
+            required_host = 0.0
+        elif form is MemoryExecutionForm.B:
+            required_dram = full_rate
+            required_host = full_rate / params.nki
+        else:
+            required_dram = full_rate
+            required_host = full_rate
+        return FeasibilityCheck(
+            fits_resources=usage.fits(device),
+            limiting_resource=limiting,
+            limiting_resource_utilization=util,
+            required_dram_gbps=required_dram,
+            available_dram_gbps=params.sustained_dram_gbps,
+            required_host_gbps=required_host,
+            available_host_gbps=params.sustained_host_gbps,
+        )
+
+
+# ----------------------------------------------------------------------
+# The pipeline
+# ----------------------------------------------------------------------
+
+
+class EstimationPipeline:
+    """Composable, memoizing implementation of the Figure-11 estimation flow.
+
+    One pipeline corresponds to one estimation session (one option set).
+    Repeated costings of the same or related variants reuse the cached
+    stage products; the per-device calibration artifacts are shared across
+    every pipeline in the process.
+    """
+
+    def __init__(self, options: CompilationOptions | None = None):
+        self.options = options or CompilationOptions()
+        self.stats = PipelineCacheStats()
+        self._calibration = CalibrationStage()
+        self._parse = ParseStage()
+        self._analysis = AnalysisStage()
+        self._resource = ResourceStage()
+        self._throughput = ThroughputStage()
+        self._feasibility = FeasibilityStage()
+
+    # -- calibration artifacts (one-time per device) -----------------------
+    def calibrate(self) -> CalibrationArtifacts:
+        return self._calibration.run(self.options, self.stats)
+
+    @property
+    def memory_simulator(self) -> MemorySystemSimulator:
+        return _shared_memory_simulator(self.options.device)
+
+    @property
+    def cost_db(self) -> DeviceCostDB:
+        return self.calibrate().cost_db
+
+    @property
+    def dram_bandwidth(self) -> SustainedBandwidthModel:
+        return self.calibrate().dram_bandwidth
+
+    @property
+    def host_bandwidth(self) -> SustainedBandwidthModel:
+        return self.calibrate().host_bandwidth
+
+    # -- individual stages -------------------------------------------------
+    def parse(self, text: str, name: str = "design") -> Module:
+        return self._parse.run(text, name, self.stats)
+
+    def analyze(self, module: Module) -> CompiledVariant:
+        """Run the structural part of the estimation flow."""
+        return self._analysis.run(module, self.options, self.stats)
+
+    def resources(self, variant: CompiledVariant) -> ModuleResourceEstimate:
+        return self._resource.run(variant, self.calibrate(), self.options, self.stats)
+
+    def select_form(self, footprint_bytes: int) -> FormSelection:
+        return self._throughput.select_form(footprint_bytes, self.options)
+
+    def extract_parameters(
+        self,
+        variant: CompiledVariant,
+        workload: KernelInstance,
+        pattern: AccessPattern | PatternKind = PatternKind.CONTIGUOUS,
+    ) -> tuple[EKITParameters, FormSelection]:
+        return self._throughput.extract_parameters(
+            variant, workload, pattern, self.options, self.calibrate()
+        )
+
+    # -- the full flow -----------------------------------------------------
+    def cost(
+        self,
+        module: Module | str,
+        workload: KernelInstance,
+        pattern: AccessPattern | PatternKind = PatternKind.CONTIGUOUS,
+    ) -> CostReport:
+        """Cost one design variant for one workload (the Figure-2 use-case)."""
+        # make sure the one-time inputs are ready so they are not billed to
+        # the per-variant estimation time (the paper's 0.3 s figure is per
+        # variant, with calibration done once per device)
+        calibration = self.calibrate()
+
+        started = time.perf_counter()
+        if isinstance(module, str):
+            module = self.parse(module)
+        variant = self.analyze(module)
+        estimate = self._resource.run(variant, calibration, self.options, self.stats)
+        params, selection = self._throughput.extract_parameters(
+            variant, workload, pattern, self.options, calibration
+        )
+        throughput = estimate_throughput(params, selection.form)
+        feasibility = self._feasibility.run(estimate, params, selection.form, self.options)
+        elapsed = time.perf_counter() - started
+
+        return CostReport(
+            design=module.name,
+            device=self.options.device,
+            resources=estimate,
+            throughput=throughput,
+            feasibility=feasibility,
+            estimation_seconds=elapsed,
+            notes=[f"memory-execution form {selection.form.value}: {selection.reason}"],
+        )
+
+    def cost_many(
+        self,
+        jobs: Iterable[
+            tuple[Module | str, KernelInstance]
+            | tuple[Module | str, KernelInstance, AccessPattern | PatternKind]
+        ],
+    ) -> list[CostReport]:
+        """Cost a batch of (module, workload[, pattern]) jobs in order."""
+        reports = []
+        for job in jobs:
+            module, workload = job[0], job[1]
+            pattern = job[2] if len(job) > 2 else PatternKind.CONTIGUOUS
+            reports.append(self.cost(module, workload, pattern))
+        return reports

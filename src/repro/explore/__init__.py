@@ -3,13 +3,20 @@
 This package implements the use-case the paper motivates: generate many
 design variants by type transformations, cost each one in a fraction of a
 second, and select the best feasible design — the guided optimisation
-search of §II, and the variant sweep of Figure 15.
+search of §II, and the variant sweep of Figure 15 — generalised to
+multi-axis design spaces evaluated in parallel.
 
+``space``
+    Multi-axis design spaces (lanes x clock x memory-execution form x
+    device x access pattern) and their lowering into cost jobs.
+``engine``
+    The batched exploration engine: serial and process-pool evaluation
+    backends, ``cost_many`` and sweep results with Pareto selection.
 ``variants``
     Generation of lane-count variant families for a kernel.
 ``search``
-    Exhaustive and guided (wall-following) searches over variants using
-    the TyBEC compiler's cost reports.
+    Exhaustive, guided (wall-following) and Pareto-frontier searches over
+    variants using the TyBEC compiler's cost reports.
 ``roofline``
     A roofline-style view of variants (operational intensity vs attainable
     performance), following the paper's pointer to the FPGA roofline
@@ -17,7 +24,22 @@ search of §II, and the variant sweep of Figure 15.
 """
 
 from repro.explore.variants import VariantRecord, generate_lane_variants, sweep_lane_counts
-from repro.explore.search import ExplorationResult, exhaustive_search, guided_search
+from repro.explore.space import CostJob, DesignPoint, DesignSpace, build_jobs
+from repro.explore.engine import (
+    ExplorationEngine,
+    ProcessPoolBackend,
+    SerialBackend,
+    SweepEntry,
+    SweepResult,
+    canonical_report_dict,
+    pareto_frontier,
+)
+from repro.explore.search import (
+    ExplorationResult,
+    exhaustive_search,
+    guided_search,
+    pareto_search,
+)
 from repro.explore.roofline import RooflinePoint, roofline_analysis
 from repro.explore.case_study import CaseStudyConfig, CaseStudyPoint, run_sor_case_study
 
@@ -25,9 +47,21 @@ __all__ = [
     "VariantRecord",
     "generate_lane_variants",
     "sweep_lane_counts",
+    "CostJob",
+    "DesignPoint",
+    "DesignSpace",
+    "build_jobs",
+    "ExplorationEngine",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "SweepEntry",
+    "SweepResult",
+    "canonical_report_dict",
+    "pareto_frontier",
     "ExplorationResult",
     "exhaustive_search",
     "guided_search",
+    "pareto_search",
     "RooflinePoint",
     "roofline_analysis",
     "CaseStudyConfig",

@@ -1,10 +1,12 @@
-"""Exploration strategies over variant families.
+"""Exploration strategies over variant families and design spaces.
 
 The cost model's speed (well under a second per variant) makes an
 exhaustive sweep over lane counts practical; the guided search additionally
 uses the *limiting factor* the cost model exposes to stop expanding an axis
 once it stops paying off — the targeted-optimisation loop the paper
-anticipates for its compiler feedback path.
+anticipates for its compiler feedback path.  Both are now thin strategies
+over the batched :class:`~repro.explore.engine.ExplorationEngine`, which
+also powers the multi-axis :func:`pareto_search`.
 """
 
 from __future__ import annotations
@@ -14,9 +16,16 @@ from dataclasses import dataclass, field
 from repro.compiler.driver import TybecCompiler
 from repro.cost.report import CostReport
 from repro.cost.throughput import LimitingFactor
+from repro.explore.engine import (
+    ExplorationEngine,
+    SerialBackend,
+    SweepEntry,
+    SweepResult,
+)
+from repro.explore.space import CostJob, DesignPoint, DesignSpace
 from repro.explore.variants import VariantRecord
 
-__all__ = ["ExplorationResult", "exhaustive_search", "guided_search"]
+__all__ = ["ExplorationResult", "exhaustive_search", "guided_search", "pareto_search"]
 
 
 @dataclass
@@ -67,21 +76,49 @@ def _select_best(result: ExplorationResult) -> None:
         result.best_lanes = max(feasible, key=lambda item: item[1].ekit)[0]
 
 
+def _lane_jobs(compiler: TybecCompiler, variants: list[VariantRecord]) -> list[CostJob]:
+    # carry the compiler's actual options, not just what the design point
+    # can express: injected cost databases, custom synthesis noise and
+    # latency models must survive the trip through the engine
+    return [
+        CostJob(
+            point=DesignPoint.from_variant(variant, compiler.options),
+            module=variant.module,
+            workload=variant.workload,
+            options=compiler.options,
+        )
+        for variant in variants
+    ]
+
+
+def _to_lane_result(kernel: str, sweep: SweepResult) -> ExplorationResult:
+    result = ExplorationResult(kernel=kernel)
+    for entry in sweep.entries:
+        result.reports[entry.point.lanes] = entry.report
+    result.estimation_seconds = sweep.estimation_seconds
+    result.evaluated = sweep.evaluated
+    _select_best(result)
+    return result
+
+
 def exhaustive_search(
     compiler: TybecCompiler,
     variants: list[VariantRecord],
+    *,
+    backend=None,
 ) -> ExplorationResult:
-    """Cost every variant and pick the fastest feasible one."""
+    """Cost every variant and pick the fastest feasible one.
+
+    A thin strategy over the exploration engine: by default the variants
+    run serially through the compiler's own memoizing pipeline; pass an
+    evaluation backend (e.g. a ``ProcessPoolBackend``) to fan the sweep
+    out.
+    """
     if not variants:
         raise ValueError("no variants to explore")
-    result = ExplorationResult(kernel=variants[0].kernel)
-    for variant in variants:
-        report = compiler.cost(variant.module, variant.workload)
-        result.reports[variant.lanes] = report
-        result.estimation_seconds += report.estimation_seconds
-        result.evaluated += 1
-    _select_best(result)
-    return result
+    engine = ExplorationEngine(backend or SerialBackend(pipeline=compiler.pipeline))
+    sweep = engine.cost_many(_lane_jobs(compiler, variants))
+    return _to_lane_result(variants[0].kernel, sweep)
 
 
 def guided_search(
@@ -96,7 +133,10 @@ def guided_search(
     either (a) the variant no longer fits the device (the computation
     wall), or (b) throughput improves by less than ``min_gain`` over the
     previous variant while the limiting factor is a communication wall —
-    adding lanes cannot help a bandwidth-bound design.
+    adding lanes cannot help a bandwidth-bound design.  Inherently
+    sequential (each step decides whether to take the next), so it always
+    runs in-process — but through the memoizing pipeline, so re-walks of a
+    family are cheap.
     """
     if not variants:
         raise ValueError("no variants to explore")
@@ -119,3 +159,21 @@ def guided_search(
         previous_ekit = report.ekit
     _select_best(result)
     return result
+
+
+def pareto_search(
+    space: DesignSpace,
+    *,
+    engine: ExplorationEngine | None = None,
+    objectives=None,
+) -> tuple[SweepResult, list[SweepEntry]]:
+    """Cost a multi-axis design space and return its Pareto frontier.
+
+    Where the single-axis searches pick one winner, a multi-axis sweep has
+    a *frontier*: no point on it is beaten on every objective at once
+    (by default: EKIT throughput up, limiting resource utilisation down).
+    Returns the full sweep result plus the non-dominated entries.
+    """
+    engine = engine or ExplorationEngine()
+    sweep = engine.explore(space)
+    return sweep, sweep.pareto_frontier(objectives)

@@ -1,0 +1,221 @@
+"""Multi-axis design spaces for exploration.
+
+The original exploration layer could only sweep one axis — the lane count
+of :class:`~repro.explore.variants.VariantRecord` — while the paper's
+design space (§III-4) and its cost model expose several more dimensions
+that change a variant's cost report.  A :class:`DesignSpace` spans the
+cartesian product of:
+
+* **lanes** — thread parallelism (``KNL``), the Figure-15 axis;
+* **clock frequency** — the device operating frequency ``FD``;
+* **memory-execution form** — Figure 6's A/B/C scenarios (or ``auto``);
+* **device** — the target FPGA board;
+* **access pattern** — contiguous/strided/random streaming (§III-6).
+
+A :class:`DesignPoint` is one coordinate of that product, directly
+convertible into the :class:`~repro.compiler.pipeline.CompilationOptions`
+that cost it.  Design points are frozen, hashable and pickle-safe so they
+can be fanned out to worker processes.
+
+(The *configuration-class* coordinates of Figure 5 — pipelining, re-use,
+vectorisation — live in :mod:`repro.models.design_space`; a sweep point
+here always describes a C1/C2 replicated-lane design, which is what the
+TyTra compiler generates.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.compiler.pipeline import CompilationOptions
+from repro.functional.typetrans import valid_lane_counts
+from repro.ir.functions import Module
+from repro.kernels.base import ScientificKernel
+from repro.models.execution import KernelInstance
+from repro.models.memory_execution import MemoryExecutionForm
+from repro.models.streaming import PatternKind
+from repro.substrate.fpga_device import FPGADevice, MAIA_STRATIX_V_GSD8
+
+__all__ = ["DesignPoint", "DesignSpace", "CostJob", "build_jobs"]
+
+
+def _form_value(form: str | MemoryExecutionForm) -> str:
+    return form.value if isinstance(form, MemoryExecutionForm) else str(form)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One coordinate of a multi-axis design space, ready to be costed."""
+
+    kernel: str
+    lanes: int
+    grid: tuple[int, ...]
+    iterations: int
+    clock_mhz: float | None = None
+    form: str | MemoryExecutionForm = "auto"
+    device: FPGADevice = MAIA_STRATIX_V_GSD8
+    pattern: PatternKind = PatternKind.CONTIGUOUS
+
+    @property
+    def global_size(self) -> int:
+        return math.prod(self.grid)
+
+    @property
+    def resolved_clock_mhz(self) -> float:
+        return self.clock_mhz if self.clock_mhz is not None else self.device.fmax_mhz
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.kernel} x{self.lanes} @{self.resolved_clock_mhz:g}MHz "
+            f"form={_form_value(self.form)} {self.device.name} {self.pattern.value}"
+        )
+
+    def compilation_options(self) -> CompilationOptions:
+        """The estimation-session options this point implies."""
+        return CompilationOptions(
+            device=self.device, clock_mhz=self.clock_mhz, form=_form_value(self.form)
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "lanes": self.lanes,
+            "grid": list(self.grid),
+            "iterations": self.iterations,
+            "clock_mhz": self.resolved_clock_mhz,
+            "form": _form_value(self.form),
+            "device": self.device.name,
+            "pattern": self.pattern.value,
+        }
+
+    @staticmethod
+    def from_variant(record, options: CompilationOptions) -> "DesignPoint":
+        """Lift a lane-only :class:`VariantRecord` into the multi-axis space."""
+        return DesignPoint(
+            kernel=record.kernel,
+            lanes=record.lanes,
+            grid=tuple(record.workload.ndrange.dims),
+            iterations=record.workload.repetitions,
+            clock_mhz=options.clock_mhz,
+            form=_form_value(options.form),
+            device=options.device,
+            pattern=PatternKind.CONTIGUOUS,
+        )
+
+
+@dataclass
+class DesignSpace:
+    """The cartesian product of exploration axes for one kernel/workload.
+
+    Axes left at their defaults contribute a single value, so a lane-only
+    space degenerates to the classic Figure-15 sweep.  Lane counts are
+    filtered to those for which the order-preserving ``reshapeTo``
+    transformation is defined (divisors of the NDRange size).
+    """
+
+    kernel: ScientificKernel
+    grid: tuple[int, ...] | None = None
+    iterations: int | None = None
+    lanes: Sequence[int] | None = None
+    max_lanes: int = 16
+    clocks_mhz: Sequence[float | None] = (None,)
+    forms: Sequence[str | MemoryExecutionForm] = ("auto",)
+    devices: Sequence[FPGADevice] = field(default_factory=lambda: (MAIA_STRATIX_V_GSD8,))
+    patterns: Sequence[PatternKind] = (PatternKind.CONTIGUOUS,)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.kernel, str):
+            from repro.kernels import get_kernel
+
+            self.kernel = get_kernel(self.kernel)
+        if self.grid is None:
+            self.grid = self.kernel.default_grid
+        if self.iterations is None:
+            self.iterations = self.kernel.default_iterations
+
+    def lane_counts(self) -> list[int]:
+        size = math.prod(self.grid)
+        if self.lanes is not None:
+            return [l for l in self.lanes if l > 0 and size % l == 0]
+        return valid_lane_counts(size, max_lanes=self.max_lanes)
+
+    def axis_sizes(self) -> dict[str, int]:
+        return {
+            "lanes": len(self.lane_counts()),
+            "clock_mhz": len(tuple(self.clocks_mhz)),
+            "form": len(tuple(self.forms)),
+            "device": len(tuple(self.devices)),
+            "pattern": len(tuple(self.patterns)),
+        }
+
+    @property
+    def active_axes(self) -> list[str]:
+        """The axes along which this space actually varies."""
+        return [name for name, size in self.axis_sizes().items() if size > 1]
+
+    def __len__(self) -> int:
+        return math.prod(self.axis_sizes().values())
+
+    def points(self) -> list[DesignPoint]:
+        """All design points, in deterministic sweep order."""
+        points = []
+        for lanes in self.lane_counts():
+            for device in self.devices:
+                for clock in self.clocks_mhz:
+                    for form in self.forms:
+                        for pattern in self.patterns:
+                            points.append(
+                                DesignPoint(
+                                    kernel=self.kernel.name,
+                                    lanes=lanes,
+                                    grid=tuple(self.grid),
+                                    iterations=self.iterations,
+                                    clock_mhz=clock,
+                                    form=form,
+                                    device=device,
+                                    pattern=PatternKind(pattern),
+                                )
+                            )
+        return points
+
+
+@dataclass(frozen=True)
+class CostJob:
+    """One design point together with its lowered IR and workload.
+
+    ``options`` overrides the options the point itself implies — the
+    bridge for callers (e.g. the classic lane-sweep searches) whose
+    compiler carries injected cost databases, custom synthesis noise or a
+    custom latency model that a bare :class:`DesignPoint` cannot express.
+    """
+
+    point: DesignPoint
+    module: Module
+    workload: KernelInstance
+    options: CompilationOptions | None = None
+
+    def resolved_options(self) -> CompilationOptions:
+        return self.options if self.options is not None else self.point.compilation_options()
+
+
+def build_jobs(space: DesignSpace) -> list[CostJob]:
+    """Lower a design space into cost jobs.
+
+    Modules depend only on (kernel, lanes, grid), so one lowered module is
+    shared by every point along the clock/form/device/pattern axes.
+    """
+    kernel = space.kernel
+    workload = kernel.workload(tuple(space.grid), space.iterations)
+    modules: dict[int, Module] = {}
+    jobs = []
+    for point in space.points():
+        module = modules.get(point.lanes)
+        if module is None:
+            module = modules[point.lanes] = kernel.build_module(
+                lanes=point.lanes, grid=tuple(space.grid)
+            )
+        jobs.append(CostJob(point=point, module=module, workload=workload))
+    return jobs

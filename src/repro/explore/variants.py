@@ -47,7 +47,7 @@ def sweep_lane_counts(
     grid = grid or kernel.default_grid
     size = math.prod(grid)
     if lane_counts is not None:
-        return [l for l in lane_counts if size % l == 0]
+        return [l for l in lane_counts if l > 0 and size % l == 0]
     return valid_lane_counts(size, max_lanes=max_lanes)
 
 

@@ -1,0 +1,179 @@
+"""Edge-case tests for the guided search's wall detection.
+
+The guided search stops expanding the lane axis on two conditions: the
+variant no longer fits the device (computation wall) or throughput stops
+improving while the design is bandwidth bound (communication wall).  These
+tests drive the decision logic with crafted cost reports so each boundary
+is exercised exactly.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.cost.throughput import LimitingFactor
+from repro.explore import VariantRecord, guided_search
+from repro.explore.search import _select_best
+
+
+@dataclass
+class FakeFeasibility:
+    fits_resources: bool = True
+    fits_bandwidth: bool = True
+
+    @property
+    def feasible(self) -> bool:
+        return self.fits_resources and self.fits_bandwidth
+
+
+@dataclass
+class FakeReport:
+    ekit: float
+    limiting_factor: LimitingFactor = LimitingFactor.COMPUTE
+    fits_resources: bool = True
+    estimation_seconds: float = 0.0
+
+    @property
+    def feasibility(self) -> FakeFeasibility:
+        return FakeFeasibility(fits_resources=self.fits_resources)
+
+    @property
+    def feasible(self) -> bool:
+        return self.fits_resources
+
+
+class FakeCompiler:
+    """Serves pre-scripted reports keyed by lane count."""
+
+    def __init__(self, reports: dict[int, FakeReport]):
+        self._reports = reports
+        self.costed: list[int] = []
+
+    def cost(self, module, workload, pattern=None):
+        lanes = module  # the fake variants carry the lane count as module
+        self.costed.append(lanes)
+        return self._reports[lanes]
+
+
+def make_variants(lanes: list[int]) -> list[VariantRecord]:
+    return [
+        VariantRecord(kernel="fake", lanes=l, module=l, workload=None) for l in lanes
+    ]
+
+
+class TestComputationWall:
+    def test_stops_at_first_infeasible_variant(self):
+        compiler = FakeCompiler({
+            1: FakeReport(ekit=1.0),
+            2: FakeReport(ekit=2.0),
+            4: FakeReport(ekit=3.0, fits_resources=False),
+            8: FakeReport(ekit=4.0),
+        })
+        result = guided_search(compiler, make_variants([1, 2, 4, 8]))
+        # the infeasible variant is evaluated (that is how the wall is
+        # found) but nothing beyond it
+        assert compiler.costed == [1, 2, 4]
+        assert result.evaluated == 3
+        assert result.best_lanes == 2
+
+    def test_computation_wall_wins_even_when_still_scaling(self):
+        compiler = FakeCompiler({
+            1: FakeReport(ekit=1.0),
+            2: FakeReport(ekit=10.0, fits_resources=False),
+            4: FakeReport(ekit=100.0),
+        })
+        result = guided_search(compiler, make_variants([1, 2, 4]))
+        assert compiler.costed == [1, 2]
+        assert result.best_lanes == 1
+
+    def test_variants_walked_in_lane_order(self):
+        compiler = FakeCompiler({l: FakeReport(ekit=float(l)) for l in (1, 2, 4)})
+        guided_search(compiler, make_variants([4, 1, 2]))
+        assert compiler.costed == [1, 2, 4]
+
+
+class TestCommunicationWall:
+    def test_stops_when_bandwidth_bound_and_gain_below_threshold(self):
+        compiler = FakeCompiler({
+            1: FakeReport(ekit=100.0),
+            2: FakeReport(ekit=103.0, limiting_factor=LimitingFactor.HOST_BANDWIDTH),
+            4: FakeReport(ekit=104.0, limiting_factor=LimitingFactor.HOST_BANDWIDTH),
+        })
+        result = guided_search(compiler, make_variants([1, 2, 4]), min_gain=1.05)
+        # 103 < 100 * 1.05 while host-bandwidth bound: the wall
+        assert compiler.costed == [1, 2]
+        assert result.best_lanes == 2
+
+    def test_dram_wall_detected_like_host_wall(self):
+        compiler = FakeCompiler({
+            1: FakeReport(ekit=100.0),
+            2: FakeReport(ekit=101.0, limiting_factor=LimitingFactor.DRAM_BANDWIDTH),
+            4: FakeReport(ekit=102.0),
+        })
+        result = guided_search(compiler, make_variants([1, 2, 4]), min_gain=1.05)
+        assert compiler.costed == [1, 2]
+        assert result.evaluated == 2
+
+    def test_low_gain_while_compute_bound_keeps_going(self):
+        # adding lanes to a compute-bound design can still pay off later,
+        # so a small step is not a wall
+        compiler = FakeCompiler({
+            1: FakeReport(ekit=100.0),
+            2: FakeReport(ekit=101.0, limiting_factor=LimitingFactor.COMPUTE),
+            4: FakeReport(ekit=200.0),
+        })
+        result = guided_search(compiler, make_variants([1, 2, 4]), min_gain=1.05)
+        assert compiler.costed == [1, 2, 4]
+        assert result.best_lanes == 4
+
+
+class TestMinGainBoundary:
+    def test_gain_exactly_at_threshold_continues(self):
+        # the wall condition is *strictly below* min_gain
+        compiler = FakeCompiler({
+            1: FakeReport(ekit=100.0),
+            2: FakeReport(ekit=105.0, limiting_factor=LimitingFactor.HOST_BANDWIDTH),
+            4: FakeReport(ekit=110.0, limiting_factor=LimitingFactor.HOST_BANDWIDTH),
+        })
+        result = guided_search(compiler, make_variants([1, 2, 4]), min_gain=1.05)
+        # 105 == 100 * 1.05 -> not a wall; 110 < 105 * 1.05 -> wall
+        assert compiler.costed == [1, 2, 4]
+        assert result.evaluated == 3
+
+    def test_min_gain_one_stops_only_on_regression(self):
+        compiler = FakeCompiler({
+            1: FakeReport(ekit=100.0),
+            2: FakeReport(ekit=100.0, limiting_factor=LimitingFactor.HOST_BANDWIDTH),
+            4: FakeReport(ekit=99.0, limiting_factor=LimitingFactor.HOST_BANDWIDTH),
+        })
+        result = guided_search(compiler, make_variants([1, 2, 4]), min_gain=1.0)
+        # equal throughput is not below min_gain=1.0; the regression at 4 is
+        assert compiler.costed == [1, 2, 4]
+        assert result.evaluated == 3
+
+    def test_requires_nonempty_variants(self):
+        with pytest.raises(ValueError):
+            guided_search(FakeCompiler({}), [])
+
+
+class TestBestSelection:
+    def test_best_ignores_infeasible(self):
+        from repro.explore.search import ExplorationResult
+
+        result = ExplorationResult(kernel="fake")
+        result.reports = {
+            1: FakeReport(ekit=1.0),
+            2: FakeReport(ekit=50.0, fits_resources=False),
+            4: FakeReport(ekit=10.0),
+        }
+        _select_best(result)
+        assert result.best_lanes == 4
+
+    def test_no_feasible_variant_leaves_best_none(self):
+        from repro.explore.search import ExplorationResult
+
+        result = ExplorationResult(kernel="fake")
+        result.reports = {1: FakeReport(ekit=1.0, fits_resources=False)}
+        _select_best(result)
+        assert result.best_lanes is None
+        assert result.best_report is None

@@ -79,6 +79,43 @@ class TestExploreCommand:
         assert payload["best_lanes"] in (1, 2)
         assert len(payload["rows"]) == 2
 
+    def test_explore_multi_axis_json(self, capsys):
+        rc = main(["explore", "--kernel", "sor", "--grid", "8", "8", "8",
+                   "--iterations", "10", "--max-lanes", "2",
+                   "--clocks", "100", "200", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["axes"]["clock_mhz"] == 2
+        assert len(payload["rows"]) == 4  # 2 lanes x 2 clocks
+        assert payload["evaluated"] == 4
+        assert payload["variants_per_second"] > 0
+        assert {row["clock_mhz"] for row in payload["rows"]} == {100.0, 200.0}
+
+    def test_explore_pareto_text(self, capsys):
+        rc = main(["explore", "--kernel", "sor", "--grid", "8", "8", "8",
+                   "--iterations", "10", "--max-lanes", "2", "--pareto"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "variants/s" in out
+
+    def test_explore_explicit_lane_list(self, capsys):
+        rc = main(["explore", "--kernel", "sor", "--grid", "8", "8", "8",
+                   "--iterations", "10", "--lanes", "1", "4", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [row["lanes"] for row in payload["rows"]] == [1, 4]
+
+    def test_explore_no_valid_lanes_fails_on_both_paths(self, capsys):
+        # 7 does not divide 8^3: single-axis and multi-axis paths agree
+        rc = main(["explore", "--kernel", "sor", "--grid", "8", "8", "8",
+                   "--iterations", "10", "--lanes", "7"])
+        assert rc == 2
+        rc = main(["explore", "--kernel", "sor", "--grid", "8", "8", "8",
+                   "--iterations", "10", "--lanes", "7", "--clocks", "100", "200"])
+        assert rc == 2
+        assert "no valid lane counts" in capsys.readouterr().err
+
 
 class TestCalibrateAndStream:
     def test_calibrate_to_file(self, tmp_path, capsys):
