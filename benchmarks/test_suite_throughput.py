@@ -1,0 +1,65 @@
+"""Workload-suite throughput benchmark -> BENCH_suite.json.
+
+Times the six-kernel workload suite end to end — the "cost every scenario
+we have" batch the golden harness and future speed PRs will lean on — and
+records per-kernel and total throughput figures as a CI artifact.  Like
+``BENCH_explore.json``, the artifact is how a performance PR proves (or a
+regression reveals) a change in batch-costing speed.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.kernels import kernel_names
+from repro.suite import SuiteConfig, WorkloadSuite
+
+#: the paper's per-variant estimation envelope (~0.3 s/variant)
+PAPER_TYTRA_SECONDS = 0.3
+
+
+def test_suite_throughput_artifact(results_dir):
+    """Run the tiny suite twice (cold-ish, memoized) and record throughput."""
+    suite = WorkloadSuite(SuiteConfig.tiny())
+    first = suite.run()
+    repeat = suite.run()
+
+    per_kernel = {
+        name: {
+            "points": info["points"],
+            "feasible_points": info["feasible_points"],
+            "grid": info["workload"]["grid"],
+        }
+        for name, info in first.report.kernels.items()
+    }
+    payload = {
+        "kernels": kernel_names(),
+        "points": first.evaluated,
+        "per_kernel": per_kernel,
+        "first_pass": {
+            "wall_seconds": first.wall_seconds,
+            "variants_per_second": first.variants_per_second,
+        },
+        "memoized_pass": {
+            "wall_seconds": repeat.wall_seconds,
+            "variants_per_second": repeat.variants_per_second,
+        },
+        "report_bytes": len(first.report.to_json()),
+    }
+    (results_dir / "BENCH_suite.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert sorted(first.report.kernels) == kernel_names()
+    assert first.evaluated == repeat.evaluated >= len(kernel_names())
+    # batch costing clears the paper's per-variant envelope with headroom
+    assert first.variants_per_second > 1.0 / PAPER_TYTRA_SECONDS
+    # determinism across the two passes (the suite's core guarantee)
+    assert first.report.to_json() == repeat.report.to_json()
+
+
+def test_suite_batch_benchmark(benchmark):
+    """pytest-benchmark timing of one full tiny-suite batch."""
+    suite = WorkloadSuite(SuiteConfig.tiny())
+    suite.run()   # warm the calibration and memoization caches
+
+    result = benchmark(lambda: suite.run().evaluated)
+    assert result >= len(kernel_names())

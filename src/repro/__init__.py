@@ -8,7 +8,7 @@ This package reproduces, in pure Python, the system described in
 Layering (lower layers never import higher ones)::
 
     ir <- models <- substrate <- cost <- compiler <- functional <- kernels
-       <- explore <- cli
+       <- explore <- suite <- cli
 
 Sub-packages
 ------------
@@ -32,11 +32,17 @@ Sub-packages
     The functional front end: sized vectors, ``map``/``fold`` programs and
     the ``reshapeTo`` type transformation that generates design variants.
 ``repro.kernels``
-    SOR, Hotspot and LavaMD scientific kernels (golden models + IR).
+    The scientific-kernel registry (SOR, Hotspot, LavaMD, conv2d,
+    Needleman-Wunsch, matmul: golden models + IR lowerings), extensible
+    through the ``@register_kernel`` decorator.
 ``repro.explore``
     Design-space exploration drivers built on the cost model: multi-axis
     design spaces, the batched (serial / process-pool) exploration engine
     and the exhaustive, guided and Pareto search strategies.
+``repro.suite``
+    The workload suite: batch costing of every registered kernel,
+    canonical version-stamped JSON reports, field-by-field diffing and
+    the golden-report regression harness.
 """
 
 __version__ = "0.1.0"

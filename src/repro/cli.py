@@ -24,6 +24,13 @@ Sub-commands mirror the flows of the paper:
 ``tybec stream-bench``
     Run the Figure-10 sustained-bandwidth benchmark on the memory
     simulator.
+
+``tybec suite run|diff|record-golden``
+    The workload suite: cost every registered kernel across a
+    kernel x device x form x lane grid and emit a canonical JSON report
+    (``run``), compare two reports field by field (``diff``, non-zero
+    exit on any difference), or regenerate the checked-in golden reports
+    after an intentional cost-model change (``record-golden``).
 """
 
 from __future__ import annotations
@@ -103,6 +110,63 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--device", default="virtex-7")
     stream.add_argument("--sides", type=int, nargs="+",
                         default=list(MemorySystemSimulator.DEFAULT_SIDES))
+
+    suite = sub.add_parser(
+        "suite",
+        help="run, diff or pin the multi-kernel workload suite",
+        description="Batch-cost every registered kernel over a "
+                    "kernel x device x form x lane grid, emit canonical JSON "
+                    "reports, and diff them against goldens.",
+    )
+    suite_sub = suite.add_subparsers(dest="suite_command", required=True)
+
+    suite_run = suite_sub.add_parser(
+        "run", help="cost the suite and emit a canonical JSON report")
+    suite_run.add_argument("--kernels", nargs="+", default=None,
+                           metavar="KERNEL",
+                           help="kernels to cost (default: every registered kernel)")
+    suite_run.add_argument("--devices", nargs="+", default=["stratix-v"],
+                           help="device axis of the sweep")
+    suite_run.add_argument("--lanes", type=int, nargs="+", default=None,
+                           help="explicit lane counts (default: divisors up to --max-lanes)")
+    suite_run.add_argument("--max-lanes", type=int, default=4)
+    suite_run.add_argument("--forms", nargs="+", default=["auto"],
+                           choices=["auto", "A", "B", "C"],
+                           help="memory-execution form axis")
+    suite_run.add_argument("--patterns", nargs="+", default=["contiguous"],
+                           choices=[p.value for p in PatternKind],
+                           help="access-pattern axis")
+    suite_run.add_argument("--clocks", type=float, nargs="+", default=None,
+                           metavar="MHZ", help="clock axis (device fmax when omitted)")
+    suite_run.add_argument("--iterations", type=int, default=None,
+                           help="override every kernel's iteration count")
+    suite_run.add_argument("--tiny", action="store_true",
+                           help="smoke-test grids (each dimension capped at 8, "
+                                "10 iterations) — the golden configuration")
+    suite_run.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                           help="cost the batch on N worker processes")
+    suite_run.add_argument("-o", "--output", type=Path, default=None,
+                           help="write the canonical JSON report to a file")
+    suite_run.add_argument("--json", action="store_true",
+                           help="print the canonical JSON report to stdout")
+
+    suite_diff = suite_sub.add_parser(
+        "diff", help="compare two suite reports field by field "
+                     "(exit 1 on any difference)")
+    suite_diff.add_argument("left", type=Path, help="baseline report (e.g. a golden)")
+    suite_diff.add_argument("right", type=Path, help="candidate report")
+    suite_diff.add_argument("--rtol", type=float, default=0.0,
+                            help="relative tolerance for float fields (default: exact)")
+    suite_diff.add_argument("--limit", type=int, default=20,
+                            help="max differences to print")
+
+    suite_golden = suite_sub.add_parser(
+        "record-golden",
+        help="re-run the golden configuration and rewrite tests/golden/*.json "
+             "(the git diff of those files documents an intentional model change)")
+    suite_golden.add_argument("--dir", type=Path, default=None,
+                              help="goldens directory (default: tests/golden)")
+    suite_golden.add_argument("--kernels", nargs="+", default=None, metavar="KERNEL")
 
     return parser
 
@@ -252,6 +316,104 @@ def _cmd_calibrate(args) -> int:
     return 0
 
 
+def _suite_config_from_args(args):
+    import dataclasses
+
+    from repro.suite import SuiteConfig
+
+    kernels = tuple(args.kernels) if args.kernels else ()
+    if args.tiny:
+        config = SuiteConfig.tiny(kernels=kernels, devices=tuple(args.devices),
+                                  max_lanes=args.max_lanes)
+        if args.iterations is not None:
+            config = dataclasses.replace(config, iterations=args.iterations)
+    else:
+        config = SuiteConfig(
+            kernels=kernels,
+            devices=tuple(args.devices),
+            max_lanes=args.max_lanes,
+            iterations=args.iterations,
+        )
+    overrides = {"forms": tuple(args.forms), "patterns": tuple(args.patterns)}
+    if args.lanes is not None:
+        overrides["lanes"] = tuple(args.lanes)
+    if args.clocks is not None:
+        overrides["clocks_mhz"] = tuple(args.clocks)
+    return dataclasses.replace(config, **overrides)
+
+
+def _cmd_suite_run(args) -> int:
+    from repro.suite import WorkloadSuite
+
+    try:
+        config = _suite_config_from_args(args)
+        suite = WorkloadSuite(config, backend=_explore_backend(args))
+        run = suite.run()
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.output:
+        run.report.write(args.output)
+        print(f"wrote suite report to {args.output}", file=sys.stderr)
+    if args.json:
+        print(run.report.to_json(), end="")
+    else:
+        header = (f"{'kernel':>8} {'lanes':>5} {'device':>20} {'MHz':>6} "
+                  f"{'form':>4} {'EKIT/s':>14} {'ok':>3}")
+        print(header)
+        print("-" * len(header))
+        for row in suite.summary_rows(run):
+            print(f"{row['kernel']:>8} {row['lanes']:>5} {row['device']:>20} "
+                  f"{row['clock_mhz']:>6.0f} {row['form']:>4} "
+                  f"{row['ekit_per_s']:>14.4f} {'y' if row['feasible'] else 'n':>3}")
+        totals = run.report.totals
+        print(f"costed {totals['points']} design points across "
+              f"{totals['kernels']} kernels ({totals['feasible']} feasible) "
+              f"in {run.wall_seconds:.3f} s ({run.variants_per_second:.1f} variants/s)")
+    return 0
+
+
+def _cmd_suite_diff(args) -> int:
+    from repro.suite import diff_payloads, format_diffs, load_report
+
+    try:
+        left = load_report(args.left)
+        right = load_report(args.right)
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    diffs = diff_payloads(left, right, rtol=args.rtol)
+    print(format_diffs(diffs, limit=args.limit))
+    return 1 if diffs else 0
+
+
+def _cmd_suite_record_golden(args) -> int:
+    from repro.suite import record_goldens
+
+    kernels = tuple(args.kernels) if args.kernels else ()
+    try:
+        written = record_goldens(args.dir, kernels=kernels)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    for path in written:
+        print(f"recorded {path}")
+    print(f"{len(written)} golden report(s) written — commit the diff to "
+          "document the model change")
+    return 0
+
+
+_SUITE_COMMANDS = {
+    "run": _cmd_suite_run,
+    "diff": _cmd_suite_diff,
+    "record-golden": _cmd_suite_record_golden,
+}
+
+
+def _cmd_suite(args) -> int:
+    return _SUITE_COMMANDS[args.suite_command](args)
+
+
 def _cmd_stream_bench(args) -> int:
     device = get_device(args.device)
     sim = MemorySystemSimulator(device)
@@ -272,6 +434,7 @@ _COMMANDS = {
     "explore": _cmd_explore,
     "calibrate": _cmd_calibrate,
     "stream-bench": _cmd_stream_bench,
+    "suite": _cmd_suite,
 }
 
 

@@ -1,7 +1,7 @@
-"""Scientific kernels used in the paper's evaluation.
+"""Scientific kernels used in the paper's evaluation — and beyond it.
 
-Three HPC kernels exercise the cost model (Table II) and the case study
-(Figures 15, 17 and 18):
+Six HPC kernels exercise the cost model (Table II), the case study
+(Figures 15, 17 and 18) and the workload suite:
 
 * :mod:`repro.kernels.sor` — the successive over-relaxation kernel from
   the Large Eddy Simulator weather model, an iterative Poisson solver
@@ -9,40 +9,63 @@ Three HPC kernels exercise the cost model (Table II) and the case study
 * :mod:`repro.kernels.hotspot` — the Hotspot benchmark from the Rodinia
   suite, a 2-D thermal simulation of a processor floorplan;
 * :mod:`repro.kernels.lavamd` — the LavaMD molecular-dynamics kernel from
-  Rodinia, computing particle potentials from pairwise interactions.
+  Rodinia, computing particle potentials from pairwise interactions;
+* :mod:`repro.kernels.conv2d` — a 3x3 constant-weight image convolution
+  (9-point stencil, the BRAM-heaviest datapath of the suite);
+* :mod:`repro.kernels.nw` — Needleman-Wunsch sequence alignment, the
+  wavefront dependency pattern with a multiply-free datapath;
+* :mod:`repro.kernels.matmul` — dense matrix multiplication streamed as
+  K=4 dot-product tuples, the DSP-density extreme.
 
 Each kernel provides a NumPy reference implementation, the gathered-tuple
 view used by the functional front end, a :class:`KernelSpec` describing
 its streaming datapath, constructors for TyTra-IR design variants, and the
 workload/characterisation records the baselines and cost model need.
+
+Kernels self-register through the declarative registry
+(:mod:`repro.kernels.registry`): decorate a :class:`ScientificKernel`
+subclass with ``@register_kernel`` and it becomes available to
+:func:`get_kernel`, the CLI and the workload suite.  See the README's
+"Adding a kernel" section for the full workflow (registry -> suite ->
+golden reports).
 """
 
 from repro.kernels.base import KernelWorkload, ScientificKernel
+from repro.kernels.registry import REGISTRY, KernelRegistry, register_kernel
 from repro.kernels.sor import SORKernel
 from repro.kernels.hotspot import HotspotKernel
 from repro.kernels.lavamd import LavaMDKernel
+from repro.kernels.conv2d import Conv2DKernel
+from repro.kernels.nw import NeedlemanWunschKernel
+from repro.kernels.matmul import MatMulKernel
 
-ALL_KERNELS = {
-    "sor": SORKernel,
-    "hotspot": HotspotKernel,
-    "lavamd": LavaMDKernel,
-}
+#: the live name -> class mapping (a Mapping view over the registry)
+ALL_KERNELS = REGISTRY
 
 
 def get_kernel(name: str) -> ScientificKernel:
-    """Instantiate a kernel by name (``sor``, ``hotspot`` or ``lavamd``)."""
-    try:
-        return ALL_KERNELS[name.lower()]()
-    except KeyError as exc:
-        raise KeyError(f"unknown kernel {name!r}; available: {sorted(ALL_KERNELS)}") from exc
+    """Instantiate a registered kernel by name (case-insensitive)."""
+    return REGISTRY.create(name)
+
+
+def kernel_names() -> list[str]:
+    """All registered kernel names, sorted."""
+    return REGISTRY.names()
 
 
 __all__ = [
     "ScientificKernel",
     "KernelWorkload",
+    "KernelRegistry",
+    "register_kernel",
+    "REGISTRY",
     "SORKernel",
     "HotspotKernel",
     "LavaMDKernel",
+    "Conv2DKernel",
+    "NeedlemanWunschKernel",
+    "MatMulKernel",
     "ALL_KERNELS",
     "get_kernel",
+    "kernel_names",
 ]

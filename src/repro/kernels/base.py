@@ -14,16 +14,54 @@ from repro.ir.functions import Module
 from repro.models.execution import KernelInstance, NDRange
 from repro.substrate.hls_baseline import HLSKernelCharacteristics
 
-__all__ = ["KernelWorkload", "ScientificKernel"]
+__all__ = ["KernelWorkload", "ScientificKernel", "fixed_point_constant"]
+
+
+def fixed_point_constant(value: float, scale: int) -> int:
+    """Round a real coefficient to a positive fixed-point integer constant.
+
+    The integer datapaths embed their real-valued coefficients as
+    fixed-point constants; the clamp to 1 keeps a tiny coefficient from
+    degenerating to a multiply-by-zero that the resource model would
+    optimise away.  One shared rounding rule keeps every kernel's
+    datapath constants consistent.
+    """
+    return max(1, int(round(value * scale)))
 
 
 @dataclass(frozen=True)
 class KernelWorkload:
-    """A concrete problem instance of a kernel."""
+    """A concrete problem instance of a kernel.
+
+    Inputs are validated eagerly: a workload with an empty grid, a
+    non-positive dimension or fewer than one iteration is a configuration
+    error, and catching it here gives a clear message instead of a
+    division-by-zero (or a silently empty sweep) deep inside the cost
+    model.  One-element grids and single-iteration workloads are valid
+    edge cases and are exercised by the test-suite.
+    """
 
     kernel: str
     grid: tuple[int, ...]
     iterations: int
+
+    def __post_init__(self) -> None:
+        if not self.kernel:
+            raise ValueError("workload kernel name must be non-empty")
+        if not self.grid:
+            raise ValueError(f"workload {self.kernel!r}: grid must have at least one dimension")
+        bad = [d for d in self.grid if not isinstance(d, int) or isinstance(d, bool) or d <= 0]
+        if bad:
+            raise ValueError(
+                f"workload {self.kernel!r}: grid dimensions must be positive integers, "
+                f"got {self.grid!r}"
+            )
+        if not isinstance(self.iterations, int) or isinstance(self.iterations, bool) \
+                or self.iterations < 1:
+            raise ValueError(
+                f"workload {self.kernel!r}: iterations must be a positive integer, "
+                f"got {self.iterations!r}"
+            )
 
     @property
     def ndrange(self) -> NDRange:
@@ -32,6 +70,15 @@ class KernelWorkload:
     @property
     def global_size(self) -> int:
         return math.prod(self.grid)
+
+    def instance(self, words_per_item: int = 1) -> KernelInstance:
+        """The execution-model view of this workload."""
+        return KernelInstance(
+            kernel=self.kernel,
+            ndrange=self.ndrange,
+            repetitions=self.iterations,
+            words_per_item=words_per_item,
+        )
 
 
 class ScientificKernel:
@@ -82,14 +129,10 @@ class ScientificKernel:
     def workload(
         self, grid: tuple[int, ...] | None = None, iterations: int | None = None
     ) -> KernelInstance:
-        grid = grid or self.default_grid
+        grid = tuple(grid) if grid is not None else self.default_grid
         iterations = iterations if iterations is not None else self.default_iterations
-        return KernelInstance(
-            kernel=self.name,
-            ndrange=NDRange(grid),
-            repetitions=iterations,
-            words_per_item=self.spec().words_per_item,
-        )
+        validated = KernelWorkload(kernel=self.name, grid=grid, iterations=iterations)
+        return validated.instance(words_per_item=self.spec().words_per_item)
 
     def hls_characteristics(self, grid: tuple[int, ...] | None = None) -> HLSKernelCharacteristics:
         grid = grid or self.default_grid

@@ -23,7 +23,8 @@ import numpy as np
 
 from repro.functional.program import KernelSpec
 from repro.ir.types import ScalarType
-from repro.kernels.base import ScientificKernel
+from repro.kernels.base import ScientificKernel, fixed_point_constant
+from repro.kernels.registry import register_kernel
 
 __all__ = ["HotspotKernel"]
 
@@ -36,9 +37,10 @@ FIXED_POINT_SCALE = 256
 
 
 def _fx(value: float) -> int:
-    return max(1, int(round(value * FIXED_POINT_SCALE)))
+    return fixed_point_constant(value, FIXED_POINT_SCALE)
 
 
+@register_kernel
 class HotspotKernel(ScientificKernel):
     """The Rodinia Hotspot kernel (2-D five-point thermal stencil)."""
 

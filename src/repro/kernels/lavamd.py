@@ -24,7 +24,8 @@ import numpy as np
 
 from repro.functional.program import KernelSpec
 from repro.ir.types import ScalarType
-from repro.kernels.base import ScientificKernel
+from repro.kernels.base import ScientificKernel, fixed_point_constant
+from repro.kernels.registry import register_kernel
 
 __all__ = ["LavaMDKernel"]
 
@@ -35,9 +36,10 @@ FIXED_POINT_SCALE = 256
 
 
 def _fx(value: float) -> int:
-    return max(1, int(round(value * FIXED_POINT_SCALE)))
+    return fixed_point_constant(value, FIXED_POINT_SCALE)
 
 
+@register_kernel
 class LavaMDKernel(ScientificKernel):
     """The Rodinia LavaMD particle-potential kernel."""
 

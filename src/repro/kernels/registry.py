@@ -1,0 +1,97 @@
+"""Declarative kernel registry.
+
+The paper's evaluation sweeps a handful of scientific kernels; the
+ROADMAP's north star asks for "as many scenarios as you can imagine".
+This registry makes adding a scenario first-class: a kernel module
+declares itself with
+
+    @register_kernel
+    class MyKernel(ScientificKernel):
+        name = "mykernel"
+        ...
+
+and the kernel immediately appears in :data:`ALL_KERNELS`, the CLI's
+``--kernel`` choices, the workload suite's default grid and the golden
+regression harness — no central list to edit.
+
+Registration validates the declarative contract up front (unique name,
+positive default grid/iterations, positive per-item work figures), so a
+malformed kernel fails at import time rather than deep inside a sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Type
+
+from repro.kernels.base import ScientificKernel
+
+__all__ = ["KernelRegistry", "register_kernel", "REGISTRY"]
+
+
+class KernelRegistry(Mapping[str, Type[ScientificKernel]]):
+    """Name → kernel-class mapping with a validating ``register`` decorator.
+
+    The registry is a :class:`Mapping`, so existing call-sites that treat
+    ``ALL_KERNELS`` as a plain dict (``sorted(ALL_KERNELS)``,
+    ``ALL_KERNELS[name]()``) keep working unchanged.
+    """
+
+    def __init__(self) -> None:
+        self._kernels: dict[str, Type[ScientificKernel]] = {}
+
+    # -- registration ------------------------------------------------------
+    def register(self, cls: Type[ScientificKernel]) -> Type[ScientificKernel]:
+        """Class decorator: validate the declarative contract and register."""
+        if not (isinstance(cls, type) and issubclass(cls, ScientificKernel)):
+            raise TypeError(f"@register_kernel expects a ScientificKernel subclass, got {cls!r}")
+        name = getattr(cls, "name", None)
+        if not name or name == ScientificKernel.name:
+            raise ValueError(f"kernel class {cls.__name__} must declare a unique 'name'")
+        if name != name.lower():
+            raise ValueError(f"kernel name {name!r} must be lowercase")
+        if name in self._kernels and self._kernels[name] is not cls:
+            raise ValueError(f"kernel name {name!r} already registered to "
+                             f"{self._kernels[name].__name__}")
+        grid = cls.default_grid
+        if not grid or any(int(d) <= 0 for d in grid):
+            raise ValueError(f"kernel {name!r}: default_grid {grid!r} must be positive")
+        if cls.default_iterations < 1:
+            raise ValueError(f"kernel {name!r}: default_iterations must be >= 1")
+        if cls.ops_per_item < 1 or cls.cpu_bytes_per_item < 1:
+            raise ValueError(f"kernel {name!r}: per-item work figures must be positive")
+        self._kernels[name] = cls
+        return cls
+
+    # -- lookup ------------------------------------------------------------
+    def create(self, name: str) -> ScientificKernel:
+        """Instantiate a registered kernel by (case-insensitive) name."""
+        try:
+            return self._kernels[name.lower()]()
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown kernel {name!r}; available: {sorted(self._kernels)}"
+            ) from exc
+
+    def names(self) -> list[str]:
+        """All registered kernel names, sorted."""
+        return sorted(self._kernels)
+
+    # -- Mapping protocol ----------------------------------------------------
+    def __getitem__(self, name: str) -> Type[ScientificKernel]:
+        return self._kernels[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._kernels)
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KernelRegistry({sorted(self._kernels)})"
+
+
+#: the process-wide registry backing ``repro.kernels.ALL_KERNELS``
+REGISTRY = KernelRegistry()
+
+#: class decorator registering a kernel into :data:`REGISTRY`
+register_kernel = REGISTRY.register

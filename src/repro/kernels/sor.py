@@ -30,7 +30,8 @@ import numpy as np
 
 from repro.functional.program import KernelSpec
 from repro.ir.types import ScalarType
-from repro.kernels.base import ScientificKernel
+from repro.kernels.base import ScientificKernel, fixed_point_constant
+from repro.kernels.registry import register_kernel
 
 __all__ = ["SORKernel"]
 
@@ -44,9 +45,10 @@ FIXED_POINT_SCALE = 1024
 
 
 def _fx(value: float) -> int:
-    return max(1, int(round(value * FIXED_POINT_SCALE)))
+    return fixed_point_constant(value, FIXED_POINT_SCALE)
 
 
+@register_kernel
 class SORKernel(ScientificKernel):
     """The SOR pressure-solver kernel (paper §II and §VI)."""
 

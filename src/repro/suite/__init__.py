@@ -1,0 +1,59 @@
+"""The workload-suite subsystem: batch costing, canonical reports, goldens.
+
+This package turns "add a scenario and trust its numbers" into a
+first-class workflow on top of the exploration engine:
+
+``runner``
+    :class:`SuiteConfig` / :class:`WorkloadSuite` — enumerate kernel x
+    device x form x lane (x clock x pattern) grids over every registered
+    kernel and cost them in one engine batch (serial or process-pool).
+``report``
+    Canonical, deterministic, version-stamped JSON suite reports (stable
+    key order, no wall-clock fields, normalised floats).
+``diff``
+    Field-by-field payload diffing with full paths — the regression
+    primitive behind ``suite diff`` and the golden tests.
+``golden``
+    The golden-report harness: record ``tests/golden/*.json`` once,
+    re-run and diff on every test run, regenerate explicitly via
+    ``suite record-golden`` when a change is intentional.
+"""
+
+from repro.suite.report import (
+    FLOAT_SIGNIFICANT_DIGITS,
+    SCHEMA,
+    SuiteReport,
+    canonical_json,
+    canonicalize,
+    load_report,
+)
+from repro.suite.diff import FieldDiff, diff_payloads, format_diffs
+from repro.suite.runner import SuiteConfig, SuiteRun, WorkloadSuite, tiny_grid
+from repro.suite.golden import (
+    check_goldens,
+    golden_config,
+    golden_dir,
+    record_goldens,
+    run_golden_suite,
+)
+
+__all__ = [
+    "SCHEMA",
+    "FLOAT_SIGNIFICANT_DIGITS",
+    "SuiteReport",
+    "canonicalize",
+    "canonical_json",
+    "load_report",
+    "FieldDiff",
+    "diff_payloads",
+    "format_diffs",
+    "SuiteConfig",
+    "SuiteRun",
+    "WorkloadSuite",
+    "tiny_grid",
+    "golden_config",
+    "golden_dir",
+    "run_golden_suite",
+    "record_goldens",
+    "check_goldens",
+]

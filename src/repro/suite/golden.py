@@ -1,0 +1,94 @@
+"""The golden-report regression harness.
+
+Goldens pin the cost model's numeric outputs: one canonical per-kernel
+JSON file per registered kernel, produced by the fixed
+:func:`golden_config` suite on the default device.  The pytest harness
+re-runs the pipeline and diffs the fresh report against the checked-in
+file field by field, so any refactor that silently shifts a resource
+count, a throughput figure or a feasibility verdict fails loudly.
+
+Intentional changes are recorded with::
+
+    PYTHONPATH=src python -m repro.cli suite record-golden
+
+which rewrites ``tests/golden/*.json``; the git diff of those files *is*
+the review artifact for a cost-model change.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.suite.diff import FieldDiff, diff_payloads
+from repro.suite.report import SuiteReport, canonical_json, load_report
+from repro.suite.runner import SuiteConfig, WorkloadSuite
+
+__all__ = [
+    "golden_config",
+    "golden_dir",
+    "run_golden_suite",
+    "record_goldens",
+    "check_goldens",
+]
+
+
+def golden_config(kernels: tuple[str, ...] = ()) -> SuiteConfig:
+    """The fixed configuration the goldens are recorded with.
+
+    Tiny grids, 10 iterations, lanes up to 4, the default device — small
+    enough to re-run inside the unit-test suite, wide enough to exercise
+    every kernel's full estimation flow.
+    """
+    return SuiteConfig.tiny(kernels=kernels)
+
+
+def golden_dir(root: Path | str | None = None) -> Path:
+    """The goldens directory (``tests/golden`` under the repo root)."""
+    if root is not None:
+        return Path(root)
+    # src/repro/suite/golden.py -> repo root is three parents above src/
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def run_golden_suite(kernels: tuple[str, ...] = ()) -> SuiteReport:
+    """Run the golden configuration and return the canonical report."""
+    return WorkloadSuite(golden_config(kernels)).run().report
+
+
+def record_goldens(directory: Path | str | None = None,
+                   kernels: tuple[str, ...] = ()) -> list[Path]:
+    """(Re-)write one golden JSON per kernel; returns the written paths."""
+    directory = golden_dir(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    report = run_golden_suite(kernels)
+    written = []
+    for name in sorted(report.kernels):
+        path = directory / f"{name}.json"
+        path.write_text(canonical_json(report.kernel_payload(name)))
+        written.append(path)
+    return written
+
+
+def check_goldens(directory: Path | str | None = None,
+                  kernels: tuple[str, ...] = (),
+                  rtol: float = 0.0) -> dict[str, list[FieldDiff]]:
+    """Re-run the pipeline and diff against the recorded goldens.
+
+    Returns ``{kernel: [diffs...]}`` — empty diff lists mean the model
+    still reproduces the pinned reports.  A missing golden file is
+    reported as a single ``removed`` diff so new kernels cannot slip in
+    unpinned.
+    """
+    directory = golden_dir(directory)
+    report = run_golden_suite(kernels)
+    results: dict[str, list[FieldDiff]] = {}
+    for name in sorted(report.kernels):
+        path = directory / f"{name}.json"
+        if not path.exists():
+            results[name] = [FieldDiff(str(path), "removed",
+                                       left="golden file missing — run "
+                                            "`suite record-golden`")]
+            continue
+        golden = load_report(path)
+        results[name] = diff_payloads(golden, report.kernel_payload(name), rtol=rtol)
+    return results

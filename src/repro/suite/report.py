@@ -1,0 +1,128 @@
+"""Canonical, deterministic suite reports.
+
+A suite report is the JSON artifact the golden-regression harness pins:
+re-running the same suite configuration on the same code must produce a
+byte-identical file, and any cost-model change must show up as a
+field-level difference.  Three properties make that work:
+
+* **stable key ordering** — every mapping is serialised with sorted keys;
+* **no wall-clock fields** — per-variant ``estimation_seconds`` is
+  stripped (the engine's ``canonical_report_dict``), and the suite adds
+  no timestamps;
+* **float normalisation** — floats are rounded to 9 significant digits,
+  which is far finer than any genuine model change yet coarse enough to
+  absorb cross-platform BLAS/libm jitter in the calibration fits.
+
+Every report is stamped with a schema version so the ``diff`` machinery
+can refuse to compare incompatible layouts instead of reporting noise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "SCHEMA",
+    "FLOAT_SIGNIFICANT_DIGITS",
+    "canonicalize",
+    "canonical_json",
+    "SuiteReport",
+    "load_report",
+]
+
+#: schema stamp of the suite-report JSON layout
+SCHEMA = "repro-suite-report/1"
+
+#: significant digits kept for floats in canonical payloads
+FLOAT_SIGNIFICANT_DIGITS = 9
+
+
+def canonicalize(value, float_digits: int = FLOAT_SIGNIFICANT_DIGITS):
+    """Normalise a JSON-ish payload for deterministic serialisation.
+
+    Floats are rounded to ``float_digits`` significant digits (integral
+    floats stay floats, so the JSON type of a field never flips), tuples
+    become lists, and mappings are rebuilt with sorted keys.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return float(f"{value:.{float_digits}g}")
+    if isinstance(value, dict):
+        return {str(k): canonicalize(v, float_digits) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v, float_digits) for v in value]
+    raise TypeError(f"cannot canonicalise {type(value).__name__!r} value {value!r}")
+
+
+def canonical_json(payload) -> str:
+    """The canonical serialisation: sorted keys, 2-space indent, newline."""
+    return json.dumps(canonicalize(payload), sort_keys=True, indent=2) + "\n"
+
+
+@dataclass
+class SuiteReport:
+    """A version-stamped suite report, ready to serialise or diff."""
+
+    payload: dict
+
+    @property
+    def schema(self) -> str:
+        return self.payload.get("schema", "")
+
+    @property
+    def kernels(self) -> dict:
+        return self.payload.get("kernels", {})
+
+    @property
+    def totals(self) -> dict:
+        return self.payload.get("totals", {})
+
+    def kernel_payload(self, name: str) -> dict:
+        """The standalone single-kernel payload (used for per-kernel goldens).
+
+        Only the *shared sweep axes* of the config are embedded — the
+        whole-suite fields (``kernels``, ``grids``, ``iterations``) are
+        dropped, because the kernel's own workload is already pinned
+        under ``kernels[name]["workload"]``.  This keeps a per-kernel
+        golden independent of which *other* kernels are registered or
+        selected: recording a subset and recording the full suite produce
+        byte-identical files, and adding a seventh kernel to the registry
+        does not invalidate the six existing goldens.
+        """
+        if name not in self.kernels:
+            raise KeyError(f"suite report has no kernel {name!r}; "
+                           f"available: {sorted(self.kernels)}")
+        config = {k: v for k, v in self.payload["config"].items()
+                  if k not in ("kernels", "grids", "iterations")}
+        return {
+            "schema": self.payload["schema"],
+            "config": config,
+            "kernels": {name: self.kernels[name]},
+        }
+
+    def canonical_dict(self) -> dict:
+        return canonicalize(self.payload)
+
+    def to_json(self) -> str:
+        return canonical_json(self.payload)
+
+    def write(self, path: Path | str) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+
+def load_report(path: Path | str) -> dict:
+    """Load a suite-report payload, checking the schema stamp."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or "schema" not in payload:
+        raise ValueError(f"{path}: not a suite report (no schema stamp)")
+    if payload["schema"] != SCHEMA:
+        raise ValueError(
+            f"{path}: schema {payload['schema']!r} is not the supported {SCHEMA!r}"
+        )
+    return payload

@@ -1,0 +1,230 @@
+"""The workload suite: batch-costing every registered kernel.
+
+The roofline-style DSE literature shows value by sweeping *many* kernels
+per device; this module makes that a first-class operation.  A
+:class:`SuiteConfig` names the kernels (default: every kernel in the
+registry) and the sweep axes (device x memory-execution form x lanes
+x clock x access pattern); :class:`WorkloadSuite` lowers that grid into
+one flat job batch, drives the exploration engine — serial or
+process-pool, the reports are byte-identical either way — and folds the
+results into a canonical :class:`~repro.suite.report.SuiteReport`.
+
+The suite is what both the golden-regression harness and the
+``BENCH_suite`` throughput benchmark are built on: one costs the report
+against checked-in goldens, the other times the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.explore.engine import ExplorationEngine, SweepResult
+from repro.explore.space import DesignSpace, build_jobs
+from repro.kernels import REGISTRY, KernelWorkload, get_kernel
+from repro.models.streaming import PatternKind
+from repro.suite.report import SCHEMA, SuiteReport
+from repro.substrate import get_device
+
+__all__ = ["SuiteConfig", "SuiteRun", "WorkloadSuite", "tiny_grid"]
+
+
+def tiny_grid(default_grid: tuple[int, ...], cap: int = 8) -> tuple[int, ...]:
+    """Shrink a kernel's default grid to a smoke-test size (each dim <= cap)."""
+    return tuple(min(int(d), cap) for d in default_grid)
+
+
+@dataclass(frozen=True)
+class SuiteConfig:
+    """Declarative description of one suite run.
+
+    Empty axis tuples mean "the default": every registered kernel, the
+    device's fmax clock, the kernel's default grid and iteration count.
+    Grids and iterations are validated through :class:`KernelWorkload`,
+    so a malformed override fails before any costing starts.
+    """
+
+    kernels: tuple[str, ...] = ()
+    devices: tuple[str, ...] = ("stratix-v",)
+    lanes: tuple[int, ...] | None = None
+    max_lanes: int = 4
+    forms: tuple[str, ...] = ("auto",)
+    patterns: tuple[str, ...] = ("contiguous",)
+    clocks_mhz: tuple[float, ...] = ()
+    #: per-kernel grid overrides; kernels not named use their default grid
+    grids: dict = field(default_factory=dict)
+    #: iteration override applied to every kernel (None = kernel default)
+    iterations: int | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def tiny(cls, kernels: tuple[str, ...] = (), devices: tuple[str, ...] = ("stratix-v",),
+             max_lanes: int = 4) -> "SuiteConfig":
+        """The smoke-test configuration: every kernel on a tiny grid.
+
+        This is also the *golden* configuration — small enough that the
+        whole six-kernel suite costs in well under a second, yet it
+        exercises the full parse -> analyse -> resource -> throughput ->
+        feasibility flow of every kernel.
+        """
+        names = tuple(cls(kernels=tuple(kernels)).resolved_kernels())
+        grids = {name: tiny_grid(REGISTRY[name].default_grid) for name in names}
+        return cls(kernels=names, devices=tuple(devices), max_lanes=max_lanes,
+                   grids=grids, iterations=10)
+
+    # ------------------------------------------------------------------
+    def resolved_kernels(self) -> list[str]:
+        names = list(self.kernels) if self.kernels else REGISTRY.names()
+        unknown = [n for n in names if n.lower() not in REGISTRY]
+        if unknown:
+            raise KeyError(f"unknown kernels {unknown}; available: {REGISTRY.names()}")
+        return sorted(n.lower() for n in names)
+
+    def workload_for(self, name: str) -> KernelWorkload:
+        """The validated (kernel, grid, iterations) triple of one kernel."""
+        name = name.lower()
+        kernel_cls = REGISTRY[name]
+        grids = {k.lower(): v for k, v in self.grids.items()}
+        grid = tuple(grids.get(name, kernel_cls.default_grid))
+        iterations = self.iterations if self.iterations is not None \
+            else kernel_cls.default_iterations
+        return KernelWorkload(kernel=name, grid=grid, iterations=iterations)
+
+    def space_for(self, name: str) -> DesignSpace:
+        """The design space the suite sweeps for one kernel."""
+        workload = self.workload_for(name)
+        return DesignSpace(
+            kernel=get_kernel(name),
+            grid=workload.grid,
+            iterations=workload.iterations,
+            lanes=list(self.lanes) if self.lanes is not None else None,
+            max_lanes=self.max_lanes,
+            clocks_mhz=tuple(self.clocks_mhz) or (None,),
+            forms=tuple(self.forms),
+            devices=tuple(get_device(d) for d in self.devices),
+            patterns=tuple(PatternKind(p) for p in self.patterns),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "kernels": self.resolved_kernels(),
+            "devices": list(self.devices),
+            "lanes": list(self.lanes) if self.lanes is not None else None,
+            "max_lanes": self.max_lanes,
+            "forms": list(self.forms),
+            "patterns": list(self.patterns),
+            "clocks_mhz": list(self.clocks_mhz),
+            "grids": {k.lower(): list(v) for k, v in sorted(self.grids.items())},
+            "iterations": self.iterations,
+        }
+
+
+@dataclass
+class SuiteRun:
+    """Outcome of one suite run: the canonical report plus batch timing.
+
+    Timing lives *outside* the report on purpose — the report must be
+    deterministic, the timing is what ``BENCH_suite.json`` records.
+    """
+
+    report: SuiteReport
+    sweep: SweepResult
+
+    @property
+    def evaluated(self) -> int:
+        return self.sweep.evaluated
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.sweep.wall_seconds
+
+    @property
+    def variants_per_second(self) -> float:
+        return self.sweep.variants_per_second
+
+
+class WorkloadSuite:
+    """Enumerate kernel x device x form x lane grids and cost them in batch."""
+
+    def __init__(self, config: SuiteConfig | None = None, backend=None):
+        self.config = config or SuiteConfig()
+        self.engine = ExplorationEngine(backend)
+
+    # ------------------------------------------------------------------
+    def spaces(self) -> dict[str, DesignSpace]:
+        """One design space per kernel, in sorted kernel order."""
+        return {name: self.config.space_for(name) for name in self.config.resolved_kernels()}
+
+    def jobs(self, spaces: dict[str, DesignSpace] | None = None):
+        """The flat, deterministic job batch over all kernels."""
+        jobs = []
+        for space in (spaces or self.spaces()).values():
+            jobs.extend(build_jobs(space))
+        return jobs
+
+    def total_points(self) -> int:
+        return sum(len(space) for space in self.spaces().values())
+
+    # ------------------------------------------------------------------
+    def run(self) -> SuiteRun:
+        """Cost every point of every kernel in one engine batch."""
+        spaces = self.spaces()
+        jobs = self.jobs(spaces)
+        if not jobs:
+            raise ValueError(
+                "suite has no design points (no valid lane counts for the "
+                "configured grids?)"
+            )
+        sweep = self.engine.cost_many(jobs)
+
+        kernels: dict[str, dict] = {}
+        cursor = 0
+        feasible_total = 0
+        for name, space in spaces.items():
+            count = len(space)
+            entries = sweep.entries[cursor : cursor + count]
+            cursor += count
+            workload = self.config.workload_for(name)
+            best = None
+            feasible = [e for e in entries if e.report.feasible]
+            feasible_total += len(feasible)
+            if feasible:
+                best = max(feasible, key=lambda e: e.report.ekit).point.as_dict()
+            kernels[name] = {
+                "workload": {"grid": list(workload.grid),
+                             "iterations": workload.iterations},
+                "points": count,
+                "feasible_points": len(feasible),
+                "best": best,
+                "entries": [e.as_dict() for e in entries],
+            }
+
+        payload = {
+            "schema": SCHEMA,
+            "config": self.config.as_dict(),
+            "kernels": kernels,
+            "totals": {
+                "kernels": len(kernels),
+                "points": len(jobs),
+                "feasible": feasible_total,
+            },
+        }
+        return SuiteRun(report=SuiteReport(payload), sweep=sweep)
+
+    # ------------------------------------------------------------------
+    def summary_rows(self, run: SuiteRun) -> list[dict]:
+        """One row per design point, kernel column included (for the CLI)."""
+        rows = []
+        for name, info in run.report.kernels.items():
+            for entry in info["entries"]:
+                point, report = entry["point"], entry["report"]
+                rows.append({
+                    "kernel": name,
+                    "lanes": point["lanes"],
+                    "device": point["device"],
+                    "clock_mhz": point["clock_mhz"],
+                    "form": report["throughput"]["form"],
+                    "pattern": point["pattern"],
+                    "ekit_per_s": report["throughput"]["ekit_per_s"],
+                    "feasible": report["feasibility"]["feasible"],
+                })
+        return rows

@@ -1,0 +1,140 @@
+"""Property-style round-trip tests over randomized-but-seeded IR modules.
+
+Hypothesis generates small random design variants through
+:class:`repro.ir.IRBuilder` — random element types, constants, stream
+offsets (integer and symbolic), datapath shapes, reductions and lane
+counts — and asserts the invariants the estimation pipeline relies on:
+
+* ``print_module`` -> ``parse_module`` -> ``print_module`` is a fixed
+  point (the canonical text is stable under one round-trip);
+* the validator accepts every printed module, before and after the
+  round-trip;
+* structural queries (lanes, offsets, instruction counts) survive the
+  round-trip — the parsed module is the *same design*, not merely a
+  parseable one.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.resource_model import ModuleStructure
+from repro.ir import IRBuilder, ScalarType, parse_module, print_module, validate_module
+
+ELEMENT_WIDTHS = [16, 18, 20, 24, 32]
+BINARY_OPS = ["add", "sub", "mul", "max", "min", "and", "or", "xor"]
+UNARY_OPS = ["abs", "not"]
+REDUCTIONS = ["add", "max", "min"]
+SYMBOLIC_OFFSETS = ["+ND1", "-ND1", "+ND1*ND2", "-ND1*ND2", "+ND1+1", "-ND1-1"]
+
+
+@st.composite
+def random_modules(draw) -> "tuple":
+    """A random-but-valid design variant built through the IRBuilder."""
+    width = draw(st.sampled_from(ELEMENT_WIDTHS))
+    signed = draw(st.booleans())
+    ty = ScalarType.int_(width) if signed else ScalarType.uint(width)
+    nd1 = draw(st.integers(min_value=4, max_value=32))
+    nd2 = draw(st.integers(min_value=4, max_value=32))
+    lanes = draw(st.sampled_from([1, 2, 3, 4]))
+    n_args = draw(st.integers(min_value=1, max_value=3))
+    arg_names = [f"s{i}" for i in range(n_args)]
+
+    int_offsets = draw(st.lists(
+        st.integers(min_value=-64, max_value=64).filter(lambda v: v != 0),
+        max_size=3, unique=True))
+    sym_offsets = draw(st.lists(st.sampled_from(SYMBOLIC_OFFSETS), max_size=2,
+                                unique=True))
+    n_ops = draw(st.integers(min_value=1, max_value=12))
+    op_plan = draw(st.lists(st.sampled_from(BINARY_OPS + UNARY_OPS),
+                            min_size=n_ops, max_size=n_ops))
+    use_constant = draw(st.lists(st.booleans(), min_size=n_ops, max_size=n_ops))
+    reduction = draw(st.sampled_from(REDUCTIONS + [None]))
+
+    b = IRBuilder("propmod")
+    b.constants(ND1=nd1, ND2=nd2)
+    size = nd1 * nd2
+    for arg in arg_names:
+        b.memory_object(f"mobj_{arg}", ty, size=size, addr_space=1, label=arg)
+    b.memory_object("mobj_out", ty, size=size, addr_space=1, label="out")
+    for lane in range(lanes):
+        for arg in arg_names:
+            b.stream_object(f"strobj_{arg}{lane}", f"mobj_{arg}", direction="istream")
+        b.stream_object(f"strobj_out{lane}", "mobj_out", direction="ostream")
+
+    f = b.function("pe", kind="pipe", args=[(ty, a) for a in arg_names])
+    values = list(arg_names)
+    for index, off in enumerate(int_offsets):
+        values.append(f.offset(arg_names[0], off, ty, result=f"ioff{index}"))
+    for index, off in enumerate(sym_offsets):
+        values.append(f.offset(arg_names[0], off, ty, result=f"soff{index}"))
+    draw_index = draw(st.randoms(use_true_random=False))
+    for opcode, constant in zip(op_plan, use_constant):
+        a = values[draw_index.randrange(len(values))]
+        if opcode in UNARY_OPS:
+            values.append(f.instr(opcode, ty, a))
+        elif constant:
+            values.append(f.instr(opcode, ty, a, draw_index.randrange(1, 256)))
+        else:
+            second = values[draw_index.randrange(len(values))]
+            values.append(f.instr(opcode, ty, a, second))
+    f.instr("add", ty, values[-1], 0, result="out")
+    if reduction is not None:
+        f.reduction(reduction, ty, "acc", "out")
+
+    for arg in arg_names:
+        b.port("pe", arg, ty, direction="istream", stream_object=f"strobj_{arg}0")
+    b.port("pe", "out", ty, direction="ostream", stream_object="strobj_out0")
+
+    if lanes > 1:
+        wrapper = b.function("wrap", kind="par", args=[(ty, a) for a in arg_names])
+        for _ in range(lanes):
+            wrapper.call("pe", arg_names, kind="pipe")
+        main = b.function("main", kind="none")
+        main.call("wrap", arg_names, kind="par")
+    else:
+        main = b.function("main", kind="none")
+        main.call("pe", arg_names, kind="pipe")
+
+    return b.build(), lanes, len(int_offsets) + len(sym_offsets)
+
+
+class TestPrintParseRoundTrip:
+    @given(random_modules())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_is_fixed_point(self, built):
+        module, _, _ = built
+        text = print_module(module)
+        reparsed = parse_module(text, name=module.name)
+        assert print_module(reparsed) == text
+        # and a second trip stays put
+        assert print_module(parse_module(print_module(reparsed))) == text
+
+    @given(random_modules())
+    @settings(max_examples=40, deadline=None)
+    def test_validator_accepts_printed_modules(self, built):
+        module, _, _ = built
+        validate_module(module)
+        reparsed = parse_module(print_module(module), name=module.name)
+        validate_module(reparsed)
+
+    @given(random_modules())
+    @settings(max_examples=25, deadline=None)
+    def test_structure_survives_roundtrip(self, built):
+        module, lanes, n_offsets = built
+        reparsed = parse_module(print_module(module), name=module.name)
+        original = ModuleStructure.from_module(module)
+        recovered = ModuleStructure.from_module(reparsed)
+        assert recovered.lanes == original.lanes == lanes
+        assert len(recovered.offset_buffers) == len(original.offset_buffers) == n_offsets
+        assert recovered.instructions_per_pe == original.instructions_per_pe
+        assert recovered.max_offset_span_words == original.max_offset_span_words
+
+    @given(random_modules())
+    @settings(max_examples=25, deadline=None)
+    def test_constants_and_objects_survive_roundtrip(self, built):
+        module, _, _ = built
+        reparsed = parse_module(print_module(module), name=module.name)
+        assert reparsed.constants == module.constants
+        assert set(reparsed.memory_objects) == set(module.memory_objects)
+        assert set(reparsed.stream_objects) == set(module.stream_objects)
+        assert len(reparsed.port_declarations) == len(module.port_declarations)

@@ -1,4 +1,4 @@
-"""Tests for the SOR, Hotspot and LavaMD kernels."""
+"""Tests for the kernel suite (SOR, Hotspot, LavaMD, conv2d, NW, matmul)."""
 
 import numpy as np
 import pytest
@@ -9,7 +9,19 @@ from repro.compiler import TybecCompiler
 from repro.cost.resource_model import ModuleStructure
 from repro.functional import verify_variant_equivalence
 from repro.ir import validate_module
-from repro.kernels import ALL_KERNELS, HotspotKernel, LavaMDKernel, SORKernel, get_kernel
+from repro.kernels import (
+    ALL_KERNELS,
+    Conv2DKernel,
+    HotspotKernel,
+    LavaMDKernel,
+    MatMulKernel,
+    NeedlemanWunschKernel,
+    SORKernel,
+    ScientificKernel,
+    get_kernel,
+    kernel_names,
+    register_kernel,
+)
 
 
 @pytest.fixture(params=sorted(ALL_KERNELS))
@@ -21,10 +33,19 @@ SMALL_GRIDS = {
     "sor": (8, 8, 8),
     "hotspot": (16, 16),
     "lavamd": (8, 8, 8),
+    "conv2d": (16, 16),
+    "nw": (16, 16),
+    "matmul": (8, 8),
 }
+
+#: kernels whose primary output is iteration independent by construction
+ITERATION_INDEPENDENT = {"lavamd", "matmul"}
 
 
 class TestRegistry:
+    def test_all_six_kernels_registered(self):
+        assert kernel_names() == ["conv2d", "hotspot", "lavamd", "matmul", "nw", "sor"]
+
     def test_all_kernels_instantiable(self):
         for name in ALL_KERNELS:
             k = get_kernel(name)
@@ -33,6 +54,38 @@ class TestRegistry:
     def test_unknown_kernel(self):
         with pytest.raises(KeyError):
             get_kernel("nbody")
+
+    def test_small_grids_cover_registry(self):
+        # keep this table in sync with the registry so every kernel is tested
+        assert set(SMALL_GRIDS) == set(ALL_KERNELS)
+
+    def test_register_rejects_duplicate_name(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register_kernel
+            class Impostor(ScientificKernel):
+                name = "sor"
+
+    def test_register_rejects_missing_name(self):
+        with pytest.raises(ValueError, match="unique 'name'"):
+            @register_kernel
+            class Nameless(ScientificKernel):
+                pass
+
+    def test_register_rejects_bad_grid(self):
+        with pytest.raises(ValueError, match="default_grid"):
+            @register_kernel
+            class BadGrid(ScientificKernel):
+                name = "badgrid"
+                default_grid = (0, 8)
+
+    def test_register_rejects_non_kernel(self):
+        with pytest.raises(TypeError):
+            register_kernel(object)
+
+    def test_registry_is_mapping(self):
+        assert len(ALL_KERNELS) == 6
+        assert ALL_KERNELS["sor"] is SORKernel
+        assert "conv2d" in ALL_KERNELS
 
 
 class TestGoldenSemantics:
@@ -46,8 +99,9 @@ class TestGoldenSemantics:
         one = kernel.reference(arrays, iterations=1)
         many = kernel.reference(arrays, iterations=5)
         primary = kernel.spec().outputs[0]
-        if kernel.name == "lavamd":
-            # the per-pair potential is iteration independent by construction
+        if kernel.name in ITERATION_INDEPENDENT:
+            # per-item outputs (LavaMD pair potential, matmul k-tile product)
+            # do not change across iterations by construction
             assert np.allclose(one[primary], many[primary])
         else:
             assert not np.allclose(one[primary], many[primary])
@@ -121,6 +175,45 @@ class TestIRConstruction:
                                kernel.workload((64, 64), 10))
         assert report.usage.dsp >= 2
         assert report.usage.bram_bits > 0
+
+    def test_conv2d_constant_weights_no_dsps_but_bram(self):
+        # all nine multiplies are by constants; the row buffers need BRAM
+        compiler = TybecCompiler()
+        kernel = Conv2DKernel()
+        report = compiler.cost(kernel.build_module(1, (64, 64)),
+                               kernel.workload((64, 64), 10))
+        assert report.usage.dsp == 0
+        assert report.usage.bram_bits > 0
+
+    def test_nw_multiply_free_datapath(self):
+        # the wavefront recurrence is adds/max only: zero DSP blocks, and
+        # the north-west offset (a row plus one element) needs a line buffer
+        compiler = TybecCompiler()
+        kernel = NeedlemanWunschKernel()
+        report = compiler.cost(kernel.build_module(1, (64, 64)),
+                               kernel.workload((64, 64), 10))
+        assert report.usage.dsp == 0
+        assert report.usage.bram_bits > 0
+
+    def test_matmul_is_dsp_dense_with_no_bram(self):
+        compiler = TybecCompiler()
+        kernel = MatMulKernel()
+        report = compiler.cost(kernel.build_module(1, (16, 16)),
+                               kernel.workload((16, 16), 10))
+        assert report.usage.dsp >= 4     # four data-dependent multiplies
+        assert report.usage.bram_bits == 0
+
+    def test_conv2d_offset_span(self):
+        module = Conv2DKernel().build_module(lanes=1, grid=(32, 32))
+        s = ModuleStructure.from_module(module)
+        assert len(s.offset_buffers) == 8
+        assert s.max_offset_span_words == 32 + 1   # a full row plus one
+
+    def test_nw_offset_span(self):
+        module = NeedlemanWunschKernel().build_module(lanes=1, grid=(32, 32))
+        s = ModuleStructure.from_module(module)
+        assert len(s.offset_buffers) == 3
+        assert s.max_offset_span_words == 32 + 1
 
 
 class TestWorkloadsAndCharacteristics:

@@ -1,0 +1,82 @@
+"""Input validation of :class:`KernelWorkload` and workload edge cases.
+
+Regression tests for the bugfix that made ``KernelWorkload`` reject
+non-positive grid dimensions and iteration counts eagerly (previously a
+bad workload sailed into the cost model and surfaced as a confusing
+downstream error), plus end-to-end checks that the *valid* extremes —
+one-element grids and single-iteration workloads — cost cleanly.
+"""
+
+import pytest
+
+from repro.compiler import TybecCompiler
+from repro.kernels import ALL_KERNELS, KernelWorkload, get_kernel
+
+
+class TestKernelWorkloadValidation:
+    def test_valid_workload(self):
+        wl = KernelWorkload("sor", (8, 8, 8), 100)
+        assert wl.global_size == 512
+        assert wl.ndrange.dims == (8, 8, 8)
+
+    @pytest.mark.parametrize("grid", [(0, 8), (-1,), (8, -8, 8), (8, 0, 8)])
+    def test_rejects_non_positive_grid(self, grid):
+        with pytest.raises(ValueError, match="positive integers"):
+            KernelWorkload("sor", grid, 10)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError, match="at least one dimension"):
+            KernelWorkload("sor", (), 10)
+
+    @pytest.mark.parametrize("iterations", [0, -5])
+    def test_rejects_non_positive_iterations(self, iterations):
+        with pytest.raises(ValueError, match="iterations"):
+            KernelWorkload("sor", (8, 8), iterations)
+
+    @pytest.mark.parametrize("grid", [(2.5, 8), (8, True)])
+    def test_rejects_non_integer_dimensions(self, grid):
+        with pytest.raises(ValueError, match="positive integers"):
+            KernelWorkload("sor", grid, 10)
+
+    def test_rejects_non_integer_iterations(self):
+        with pytest.raises(ValueError, match="iterations"):
+            KernelWorkload("sor", (8, 8), 1.5)
+
+    def test_rejects_empty_kernel_name(self):
+        with pytest.raises(ValueError, match="kernel name"):
+            KernelWorkload("", (8, 8), 10)
+
+    def test_instance_view(self):
+        inst = KernelWorkload("hotspot", (16, 16), 7).instance(words_per_item=4)
+        assert inst.kernel == "hotspot"
+        assert inst.repetitions == 7
+        assert inst.words_per_item == 4
+        assert inst.global_size == 256
+
+
+class TestWorkloadEdgeCases:
+    """1-element and single-iteration workloads are valid and cost cleanly."""
+
+    def test_single_iteration_workload(self):
+        kernel = get_kernel("sor")
+        wl = kernel.workload((8, 8, 8), iterations=1)
+        assert wl.repetitions == 1
+        report = TybecCompiler().cost(kernel.build_module(1, (8, 8, 8)), wl)
+        assert report.ekit > 0
+
+    def test_one_element_grid_costs(self):
+        # a 1-element NDRange is the degenerate-but-legal extreme: only one
+        # lane divides it, and the cost model must not divide by zero
+        kernel = get_kernel("lavamd")   # no stencil offsets -> 1 element is meaningful
+        grid = (1, 1, 1)
+        wl = kernel.workload(grid, iterations=1)
+        assert wl.global_size == 1
+        report = TybecCompiler().cost(kernel.build_module(1, grid), wl)
+        assert report.ekit > 0
+        assert report.estimation_seconds < 5.0
+
+    @pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+    def test_workload_helper_validates_for_every_kernel(self, name):
+        kernel = get_kernel(name)
+        with pytest.raises(ValueError):
+            kernel.workload(kernel.default_grid, iterations=0)

@@ -1,0 +1,126 @@
+"""Golden-report regression tests.
+
+``tests/golden/<kernel>.json`` pins the cost model's canonical output for
+every registered kernel on the default device (the fixed
+:func:`repro.suite.golden_config` configuration).  These tests re-run the
+estimation pipeline and diff field by field: any refactor that shifts a
+resource count, throughput figure or feasibility verdict fails here with
+the exact path of the field that moved.
+
+When a change is *intentional*, regenerate the goldens and commit the
+diff::
+
+    PYTHONPATH=src python -m repro.cli suite record-golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.kernels import kernel_names
+from repro.suite import (
+    SCHEMA,
+    check_goldens,
+    diff_payloads,
+    format_diffs,
+    golden_dir,
+    load_report,
+    record_goldens,
+    run_golden_suite,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
+
+
+@pytest.fixture(scope="module")
+def fresh_report():
+    """One golden-configuration run shared by every test in the module."""
+    return run_golden_suite()
+
+
+class TestGoldenFiles:
+    def test_every_kernel_has_a_golden(self):
+        recorded = sorted(p.stem for p in GOLDEN_DIR.glob("*.json"))
+        assert recorded == kernel_names(), (
+            "tests/golden is out of sync with the kernel registry — run "
+            "`PYTHONPATH=src python -m repro.cli suite record-golden`"
+        )
+
+    def test_golden_dir_resolution(self):
+        assert golden_dir() == GOLDEN_DIR
+        assert golden_dir("/tmp/elsewhere") == Path("/tmp/elsewhere")
+
+    @pytest.mark.parametrize("name", sorted(kernel_names()))
+    def test_goldens_are_canonical_json(self, name):
+        path = GOLDEN_DIR / f"{name}.json"
+        payload = load_report(path)
+        assert payload["schema"] == SCHEMA
+        # the file is byte-for-byte the canonical serialisation of itself
+        from repro.suite import canonical_json
+
+        assert path.read_text() == canonical_json(payload)
+
+
+class TestGoldenRegression:
+    @pytest.mark.parametrize("name", sorted(kernel_names()))
+    def test_pipeline_reproduces_golden(self, fresh_report, name):
+        golden = load_report(GOLDEN_DIR / f"{name}.json")
+        diffs = diff_payloads(golden, fresh_report.kernel_payload(name))
+        assert not diffs, (
+            f"cost model drifted from tests/golden/{name}.json:\n"
+            f"{format_diffs(diffs)}\n"
+            "If this change is intentional, regenerate with "
+            "`PYTHONPATH=src python -m repro.cli suite record-golden` and "
+            "commit the diff."
+        )
+
+    def test_two_consecutive_runs_identical(self, fresh_report):
+        again = run_golden_suite()
+        assert fresh_report.to_json() == again.to_json()
+
+    def test_check_goldens_clean(self):
+        results = check_goldens(GOLDEN_DIR)
+        assert sorted(results) == kernel_names()
+        assert all(diffs == [] for diffs in results.values()), {
+            name: format_diffs(diffs) for name, diffs in results.items() if diffs
+        }
+
+    def test_check_goldens_flags_missing_file(self, tmp_path):
+        results = check_goldens(tmp_path, kernels=("sor",))
+        assert len(results["sor"]) == 1
+        assert results["sor"][0].kind == "removed"
+
+    def test_check_goldens_detects_perturbation(self, tmp_path):
+        record_goldens(tmp_path, kernels=("sor",))
+        path = tmp_path / "sor.json"
+        payload = json.loads(path.read_text())
+        payload["kernels"]["sor"]["entries"][0]["report"]["utilization"]["alut"] *= 2
+        path.write_text(json.dumps(payload))
+        results = check_goldens(tmp_path, kernels=("sor",))
+        assert results["sor"]
+        assert any("utilization.alut" in d.path for d in results["sor"])
+
+
+class TestRecordGoldenWorkflow:
+    def test_record_matches_checked_in_goldens(self, tmp_path):
+        """The documented regeneration path reproduces the committed files."""
+        written = record_goldens(tmp_path)
+        assert sorted(p.stem for p in written) == kernel_names()
+        for path in written:
+            committed = (GOLDEN_DIR / path.name).read_text()
+            assert path.read_text() == committed, (
+                f"record-golden produced a different {path.name} than the "
+                "checked-in golden — the environment is non-deterministic "
+                "or tests/golden is stale"
+            )
+
+    def test_subset_record_matches_full_record(self, tmp_path):
+        """Regression: a per-kernel golden must not depend on which other
+        kernels were in the recording run (the config is sliced per kernel),
+        so `record-golden --kernels sor` and a full record agree byte for
+        byte."""
+        record_goldens(tmp_path / "sub", kernels=("sor",))
+        assert (tmp_path / "sub" / "sor.json").read_text() == (
+            (GOLDEN_DIR / "sor.json").read_text()
+        )

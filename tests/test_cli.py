@@ -25,6 +25,16 @@ class TestParser:
             args = parser.parse_args([command] + (["x.tirl"] if command in ("cost", "emit") else []))
             assert args.command == command
 
+    def test_suite_subcommands_registered(self):
+        parser = build_parser()
+        assert parser.parse_args(["suite", "run"]).suite_command == "run"
+        assert parser.parse_args(["suite", "diff", "a.json", "b.json"]).suite_command == "diff"
+        assert parser.parse_args(["suite", "record-golden"]).suite_command == "record-golden"
+
+    def test_suite_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suite"])
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -115,6 +125,90 @@ class TestExploreCommand:
                    "--iterations", "10", "--lanes", "7", "--clocks", "100", "200"])
         assert rc == 2
         assert "no valid lane counts" in capsys.readouterr().err
+
+
+class TestSuiteCommand:
+    def test_suite_run_costs_all_six_kernels(self, capsys):
+        rc = main(["suite", "run", "--tiny"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("sor", "hotspot", "lavamd", "conv2d", "nw", "matmul"):
+            assert name in out
+        assert "costed" in out and "6 kernels" in out
+
+    def test_suite_run_json_report(self, tmp_path, capsys):
+        out_path = tmp_path / "suite.json"
+        rc = main(["suite", "run", "--tiny", "--kernels", "sor", "matmul",
+                   "-o", str(out_path), "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"].startswith("repro-suite-report/")
+        assert sorted(payload["kernels"]) == ["matmul", "sor"]
+        assert payload == json.loads(out_path.read_text())
+
+    def test_suite_run_unknown_kernel(self, capsys):
+        rc = main(["suite", "run", "--kernels", "nbody"])
+        assert rc == 2
+        assert "unknown kernels" in capsys.readouterr().err
+
+    def test_suite_run_tiny_unknown_kernel(self, capsys):
+        # regression: the --tiny path must fail as cleanly as the default path
+        rc = main(["suite", "run", "--tiny", "--kernels", "nbody"])
+        assert rc == 2
+        assert "unknown kernels" in capsys.readouterr().err
+
+    def test_suite_run_tiny_uppercase_kernel(self, capsys):
+        rc = main(["suite", "run", "--tiny", "--kernels", "SOR", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert sorted(payload["kernels"]) == ["sor"]
+
+    def test_suite_record_golden_unknown_kernel(self, tmp_path, capsys):
+        rc = main(["suite", "record-golden", "--dir", str(tmp_path),
+                   "--kernels", "nbody"])
+        assert rc == 2
+        assert "unknown kernels" in capsys.readouterr().err
+
+    def test_suite_run_invalid_iterations(self, capsys):
+        rc = main(["suite", "run", "--tiny", "--kernels", "sor",
+                   "--iterations", "0"])
+        assert rc == 2
+        assert "iterations" in capsys.readouterr().err
+
+    def test_suite_run_no_valid_lanes(self, capsys):
+        rc = main(["suite", "run", "--tiny", "--kernels", "sor", "--lanes", "7"])
+        assert rc == 2
+        assert "no design points" in capsys.readouterr().err
+
+    def test_suite_diff_identical_and_perturbed(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(["suite", "run", "--tiny", "--kernels", "sor", "-o", str(a)]) == 0
+        assert main(["suite", "run", "--tiny", "--kernels", "sor", "-o", str(b)]) == 0
+        assert main(["suite", "diff", str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+        payload = json.loads(b.read_text())
+        entry = payload["kernels"]["sor"]["entries"][0]
+        entry["report"]["throughput"]["ekit_per_s"] *= 1.5
+        b.write_text(json.dumps(payload))
+        assert main(["suite", "diff", str(a), str(b)]) == 1
+        assert "ekit_per_s" in capsys.readouterr().out
+
+    def test_suite_diff_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        good = tmp_path / "good.json"
+        assert main(["suite", "run", "--tiny", "--kernels", "sor", "-o", str(good)]) == 0
+        assert main(["suite", "diff", str(bad), str(good)]) == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_suite_record_golden_to_directory(self, tmp_path, capsys):
+        rc = main(["suite", "record-golden", "--dir", str(tmp_path),
+                   "--kernels", "sor", "lavamd"])
+        assert rc == 0
+        assert {p.name for p in tmp_path.iterdir()} == {"sor.json", "lavamd.json"}
+        assert "2 golden report(s)" in capsys.readouterr().out
 
 
 class TestCalibrateAndStream:
