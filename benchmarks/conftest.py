@@ -24,6 +24,15 @@ from repro.substrate import MAIA_STRATIX_V_GSD8, SMALL_EDU_DEVICE, VIRTEX7_ADM_P
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_disk_cache(tmp_path_factory):
+    """Benchmarks measure compute, not the user's warm persistent cache."""
+    from repro.cost.cache import redirected_cache_dir
+
+    with redirected_cache_dir(tmp_path_factory.mktemp("tybec-cache")):
+        yield
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -111,10 +111,13 @@ def test_explore_engine_throughput(maia_compiler, results_dir):
         "first_pass": {
             "wall_seconds": first.wall_seconds,
             "variants_per_second": first.variants_per_second,
+            "stage_seconds": first.stats.get("stage_seconds", {}),
+            "family_hits_misses": first.stats.get("family"),
         },
         "memoized_pass": {
             "wall_seconds": repeat.wall_seconds,
             "variants_per_second": repeat.variants_per_second,
+            "stage_seconds": repeat.stats.get("stage_seconds", {}),
         },
         "memoization_speedup": (
             first.wall_seconds / repeat.wall_seconds if repeat.wall_seconds > 0 else None
@@ -126,3 +129,39 @@ def test_explore_engine_throughput(maia_compiler, results_dir):
     # the engine clears the paper's per-variant envelope with huge headroom
     assert first.variants_per_second > 1.0 / PAPER_TYTRA_SECONDS
     assert repeat.wall_seconds < first.wall_seconds
+    # lane scaling carried the lane axis: one full analysis for the family
+    hits, misses = first.stats["family"]
+    assert misses <= 1 and hits >= 1
+
+
+def test_per_stage_breakdown_names_the_guilty_stage(results_dir, write_result):
+    """Per-stage wall-time split of one cold multi-axis sweep.
+
+    When estimator speed regresses, this table (and the same data inside
+    ``BENCH_explore.json``/``BENCH_suite.json``) says *which* stage —
+    parse, analyze, resource, throughput, feasibility or calibrate — ate
+    the time, instead of a single opaque number.
+    """
+    from repro.compiler.pipeline import clear_calibration_cache
+
+    clear_calibration_cache()  # a cold sweep exercises every stage
+    space = DesignSpace(
+        kernel=SORKernel(), grid=GRID, iterations=10,
+        max_lanes=16, clocks_mhz=(150.0, 250.0),
+    )
+    sweep = ExplorationEngine().cost_many(build_jobs(space))
+
+    rows = [[row["stage"], round(row["seconds"] * 1e3, 3),
+             f"{row['share'] * 100:.1f}%"]
+            for row in sweep.stage_timing_rows()]
+    write_result(
+        "estimator_stage_breakdown",
+        format_table(["stage", "wall (ms)", "share"], rows,
+                     title=f"Stage breakdown of a cold {sweep.evaluated}-point sweep"),
+    )
+
+    stages = {row[0] for row in rows}
+    assert {"analyze", "resource", "throughput", "feasibility", "calibrate"} <= stages
+    # every stage is accounted for and none dominates pathologically
+    assert all(seconds >= 0 for _, seconds, _ in rows)
+    assert sum(seconds for _, seconds, _ in rows) > 0

@@ -31,6 +31,12 @@ Sub-commands mirror the flows of the paper:
     (``run``), compare two reports field by field (``diff``, non-zero
     exit on any difference), or regenerate the checked-in golden reports
     after an intentional cost-model change (``record-golden``).
+
+``tybec cache stats|clear|warm``
+    The persistent warm-start store (``TYBEC_CACHE_DIR``, default
+    ``~/.cache/tybec``): report its contents, clear it, or pre-populate
+    device calibrations and kernel design-family analyses so the next
+    ``cost``/``explore``/``suite run`` starts warm.
 """
 
 from __future__ import annotations
@@ -167,6 +173,26 @@ def build_parser() -> argparse.ArgumentParser:
     suite_golden.add_argument("--dir", type=Path, default=None,
                               help="goldens directory (default: tests/golden)")
     suite_golden.add_argument("--kernels", nargs="+", default=None, metavar="KERNEL")
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect, clear or warm the persistent estimation cache",
+        description="The persistent warm-start store holds per-device "
+                    "calibration artifacts and per-family structural "
+                    "analyses, keyed on content and schema version, under "
+                    "TYBEC_CACHE_DIR (default ~/.cache/tybec).",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("stats", help="report cache location, entries and sizes")
+    cache_sub.add_parser("clear", help="delete every cached artifact")
+    cache_warm = cache_sub.add_parser(
+        "warm",
+        help="pre-populate device calibrations and kernel family analyses")
+    cache_warm.add_argument("--devices", nargs="+", default=["stratix-v"],
+                            help="devices to calibrate")
+    cache_warm.add_argument("--kernels", nargs="+", default=None, metavar="KERNEL",
+                            help="kernels whose design families to analyse "
+                                 "(default: every registered kernel)")
 
     return parser
 
@@ -370,7 +396,31 @@ def _cmd_suite_run(args) -> int:
         print(f"costed {totals['points']} design points across "
               f"{totals['kernels']} kernels ({totals['feasible']} feasible) "
               f"in {run.wall_seconds:.3f} s ({run.variants_per_second:.1f} variants/s)")
+        _print_stage_breakdown(run)
     return 0
+
+
+def _print_stage_breakdown(run) -> None:
+    """Per-stage wall time and cache hit rates of one suite batch."""
+    stats = run.stats
+    if not stats:
+        return
+    rows = run.sweep.stage_timing_rows()
+    if rows:
+        breakdown = "  ".join(
+            f"{row['stage']} {row['seconds'] * 1e3:.1f}ms ({row['share'] * 100:.0f}%)"
+            for row in rows
+        )
+        print(f"stage time: {breakdown}")
+    counters = []
+    for layer in ("family", "variant", "resource", "calibration", "disk"):
+        pair = stats.get(layer)
+        if isinstance(pair, list) and len(pair) == 2 and sum(pair):
+            counters.append(f"{layer} {pair[0]}/{sum(pair)}")
+    if counters:
+        fallbacks = stats.get("family_fallbacks", 0)
+        suffix = f", {fallbacks} full-path fallback(s)" if fallbacks else ""
+        print(f"cache hits: {'  '.join(counters)}{suffix}")
 
 
 def _cmd_suite_diff(args) -> int:
@@ -414,6 +464,85 @@ def _cmd_suite(args) -> int:
     return _SUITE_COMMANDS[args.suite_command](args)
 
 
+def _cmd_cache_stats(args) -> int:
+    from repro.cost.cache import cache_location, default_disk_cache
+
+    location = cache_location()
+    if location is None:
+        print("persistent cache: disabled (TYBEC_CACHE_DIR is empty/off)")
+        return 0
+    stats = default_disk_cache().stats()
+    print(f"persistent cache at {stats['root']} "
+          f"(schema v{stats['schema_version']}, "
+          f"capacity {stats['capacity_per_namespace']} entries/namespace)")
+    if not stats["namespaces"]:
+        print("  empty — run `tybec cache warm` or any cost/suite command")
+    for name, info in stats["namespaces"].items():
+        print(f"  {name:>12}: {info['entries']:4d} entries, {info['bytes']:9d} bytes")
+    return 0
+
+
+def _cmd_cache_clear(args) -> int:
+    from repro.cost.cache import cache_location, default_disk_cache
+
+    if cache_location() is None:
+        print("persistent cache: disabled — nothing to clear")
+        return 0
+    cache = default_disk_cache()
+    removed = cache.clear()
+    print(f"removed {removed} cached artifact(s) from {cache.root}")
+    return 0
+
+
+def _cmd_cache_warm(args) -> int:
+    import time
+
+    from repro.compiler import CompilationOptions, EstimationPipeline, LaneFamilyHandle
+    from repro.cost.cache import cache_location, default_disk_cache
+    from repro.kernels import REGISTRY
+    from repro.suite import tiny_grid
+
+    if cache_location() is None:
+        print("persistent cache: disabled — set TYBEC_CACHE_DIR to enable",
+              file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    names = [n.lower() for n in args.kernels] if args.kernels else REGISTRY.names()
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        print(f"unknown kernels {unknown}; available: {REGISTRY.names()}",
+              file=sys.stderr)
+        return 2
+    for device_name in args.devices:
+        device = get_device(device_name)
+        pipeline = EstimationPipeline(CompilationOptions(device=device))
+        pipeline.calibrate()
+        print(f"calibrated {device.name}")
+        for name in names:
+            kernel = REGISTRY[name]()
+            # the two grids the stock flows sweep: the kernel default
+            # (explore) and the capped smoke grid (suite --tiny / goldens)
+            for grid in {kernel.default_grid, tiny_grid(kernel.default_grid)}:
+                pipeline.analyze(LaneFamilyHandle(kernel=kernel, lanes=1, grid=grid))
+            print(f"  analysed design family of {name}")
+    stats = default_disk_cache().stats()
+    entries = sum(info["entries"] for info in stats["namespaces"].values())
+    print(f"warmed {entries} artifact(s) in {time.perf_counter() - started:.2f} s "
+          f"at {stats['root']}")
+    return 0
+
+
+_CACHE_COMMANDS = {
+    "stats": _cmd_cache_stats,
+    "clear": _cmd_cache_clear,
+    "warm": _cmd_cache_warm,
+}
+
+
+def _cmd_cache(args) -> int:
+    return _CACHE_COMMANDS[args.cache_command](args)
+
+
 def _cmd_stream_bench(args) -> int:
     device = get_device(args.device)
     sim = MemorySystemSimulator(device)
@@ -435,6 +564,7 @@ _COMMANDS = {
     "calibrate": _cmd_calibrate,
     "stream-bench": _cmd_stream_bench,
     "suite": _cmd_suite,
+    "cache": _cmd_cache,
 }
 
 

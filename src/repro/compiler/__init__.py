@@ -34,11 +34,19 @@ from repro.compiler.scheduling import (
     ScheduledPipeline,
     schedule_function,
 )
+from repro.compiler.lanescale import (
+    FamilyAnalysis,
+    LaneFamilyHandle,
+    check_lane_separable,
+    family_fingerprint,
+)
 from repro.compiler.pipeline import (
     CalibrationArtifacts,
     EstimationPipeline,
     PipelineCacheStats,
+    clear_calibration_cache,
     module_content_key,
+    pipeline_cache_info,
 )
 from repro.compiler.driver import CompilationOptions, CompiledVariant, TybecCompiler
 
@@ -58,4 +66,10 @@ __all__ = [
     "EstimationPipeline",
     "PipelineCacheStats",
     "module_content_key",
+    "FamilyAnalysis",
+    "LaneFamilyHandle",
+    "check_lane_separable",
+    "family_fingerprint",
+    "clear_calibration_cache",
+    "pipeline_cache_info",
 ]

@@ -22,6 +22,7 @@ __all__ = [
     "ConfigurationNode",
     "ConfigurationTree",
     "build_configuration_tree",
+    "classify_from_parts",
     "classify_module",
     "ModuleClassification",
 ]
@@ -138,10 +139,19 @@ class ModuleClassification:
     pipelined: bool
 
 
-def classify_module(module: Module, vectorization: int = 1) -> ModuleClassification:
-    """Locate a design variant in the design-space model of Figure 5."""
-    tree = build_configuration_tree(module)
-    structure = ModuleStructure.from_module(module)
+def classify_from_parts(
+    module: Module,
+    tree: ConfigurationTree,
+    structure: ModuleStructure,
+    vectorization: int = 1,
+) -> ModuleClassification:
+    """Classify a variant from already-computed analysis products.
+
+    The estimation pipeline computes the configuration tree and the
+    module structure anyway; passing them in keeps classification from
+    re-deriving both (a pure function of their values, so the result is
+    identical to :func:`classify_module`'s).
+    """
     pipelined = any(
         module.get_function(leaf.function).kind in (FunctionKind.PIPE, FunctionKind.COMB)
         for leaf in tree.leaves()
@@ -159,3 +169,10 @@ def classify_module(module: Module, vectorization: int = 1) -> ModuleClassificat
         lanes=structure.lanes,
         pipelined=pipelined,
     )
+
+
+def classify_module(module: Module, vectorization: int = 1) -> ModuleClassification:
+    """Locate a design variant in the design-space model of Figure 5."""
+    tree = build_configuration_tree(module)
+    structure = ModuleStructure.from_module(module)
+    return classify_from_parts(module, tree, structure, vectorization)

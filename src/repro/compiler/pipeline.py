@@ -14,11 +14,15 @@ of modern EDA runners:
 ``AnalysisStage``
     Module → :class:`CompiledVariant` (structure, configuration tree,
     classification, schedules, pipeline spec), memoized on the module's
-    *content hash* so structurally identical variants are analysed once.
+    *content fingerprint* so structurally identical variants are analysed
+    once — and, through the lane-scaling law of
+    :mod:`repro.compiler.lanescale`, analysed once per *design family*:
+    every lane count of a replicated-lane design derives its analysis from
+    the family's canonical member instead of re-running it.
 ``ResourceStage``
     Module → :class:`~repro.cost.resource_model.ModuleResourceEstimate`
     including the scheduler-implied pipeline-balancing registers, memoized
-    on the same content hash.
+    on the same content key (and derived per lane for family members).
 ``ThroughputStage``
     Variant + workload → Table-I parameters, memory-execution form and the
     EKIT estimate (cheap, computed per workload).
@@ -27,17 +31,21 @@ of modern EDA runners:
 
 The expensive one-time per-device inputs (synthetic-synthesis
 characterisation, DRAM/host sustained-bandwidth fits) are shared across
-*all* pipelines in the process through a module-level calibration cache, so
-an exploration engine costing thousands of design points across several
-option sets pays for each device exactly once.
+*all* pipelines in the process through a module-level calibration cache
+— and, underneath it, through the persistent warm-start store of
+:mod:`repro.cost.cache`, so a *new* process (a pool worker, the next CLI
+invocation, a CI rerun) inherits calibration and family analyses from
+disk instead of recomputing them.  Every stage keeps hit/miss counters
+and wall-time accumulators (:class:`PipelineCacheStats`) so sweeps can
+report where their time actually went.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 import time
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -45,7 +53,24 @@ from repro.compiler.analysis import (
     ConfigurationTree,
     ModuleClassification,
     build_configuration_tree,
-    classify_module,
+    classify_from_parts,
+)
+from repro.compiler.lanescale import (
+    FamilyAnalysis,
+    LaneFamilyHandle,
+    build_family,
+    check_lane_separable,
+    clear_family_caches,
+    derive_classification,
+    derive_structure,
+    derive_tree,
+    family_cache_info,
+    family_fingerprint,
+    latency_key,
+    lookup_family,
+    lookup_family_for_recipe,
+    register_family,
+    register_recipe_alias,
 )
 from repro.compiler.scheduling import (
     OperatorLatencyModel,
@@ -54,13 +79,13 @@ from repro.compiler.scheduling import (
     schedule_module,
 )
 from repro.cost.bandwidth import SustainedBandwidthModel
+from repro.cost.cache import BoundedCache, default_disk_cache, env_int
 from repro.cost.calibration import DeviceCostDB, calibrate_device
 from repro.cost.report import CostReport, FeasibilityCheck
 from repro.cost.resource_model import ModuleResourceEstimate, ModuleStructure, ResourceEstimator
 from repro.cost.throughput import EKITParameters, estimate_throughput
 from repro.ir import parse_module
 from repro.ir.functions import Module
-from repro.ir.printer import print_module
 from repro.ir.validator import validate_module
 from repro.models.execution import KernelInstance
 from repro.models.memory_execution import (
@@ -81,8 +106,20 @@ __all__ = [
     "PipelineCacheStats",
     "EstimationPipeline",
     "module_content_key",
+    "adopt_shared_calibration",
     "clear_calibration_cache",
+    "pipeline_cache_info",
 ]
+
+# backward-compatible alias: the bounded LRU now lives with the caches
+_BoundedCache = BoundedCache
+
+
+def _lane_scaling_default() -> bool:
+    """Lane scaling is on unless ``TYBEC_LANE_SCALING`` disables it."""
+    return os.environ.get("TYBEC_LANE_SCALING", "1").strip().lower() not in (
+        "0", "off", "false",
+    )
 
 
 @dataclass
@@ -96,6 +133,12 @@ class CompilationOptions:
     Figure-10 table).  Instances are pickle-safe, so an option set can be
     shipped to :mod:`concurrent.futures` worker processes together with the
     design variants to cost.
+
+    ``lane_scaling`` selects whether the analytic lane-scaling law may
+    derive family members from one canonical analysis (the default) or
+    every variant must run the full path — the differential tests prove
+    the two produce bit-identical reports, so disabling it is only useful
+    for benchmarking and debugging.
     """
 
     device: FPGADevice = MAIA_STRATIX_V_GSD8
@@ -106,6 +149,7 @@ class CompilationOptions:
     latency_model: OperatorLatencyModel = field(default_factory=OperatorLatencyModel)
     form: str | MemoryExecutionForm = "auto"
     synthesis_noise: float = 0.025
+    lane_scaling: bool = field(default_factory=_lane_scaling_default)
 
     def resolved_clock_mhz(self) -> float:
         return self.clock_mhz if self.clock_mhz is not None else self.device.fmax_mhz
@@ -126,6 +170,7 @@ class CompilationOptions:
             str(self.form.value if isinstance(self.form, MemoryExecutionForm) else self.form),
             self.synthesis_noise,
             (lat.div_cycles_per_bit, lat.sqrt_cycles_per_bit, lat.input_stage_cycles),
+            self.lane_scaling,
             id(self.cost_db) if self.cost_db is not None else None,
             id(self.dram_bandwidth) if self.dram_bandwidth is not None else None,
             id(self.host_bandwidth) if self.host_bandwidth is not None else None,
@@ -134,9 +179,16 @@ class CompilationOptions:
 
 @dataclass
 class CompiledVariant:
-    """Everything the compiler derives from one design variant's IR."""
+    """Everything the compiler derives from one design variant's IR.
 
-    module: Module
+    Variants derived by the lane-scaling law from a warm family recipe
+    carry ``module=None`` (their IR was never lowered) together with the
+    ``design_name`` the lowering would have produced and a reference to
+    the :class:`~repro.compiler.lanescale.FamilyAnalysis` they derive
+    from.
+    """
+
+    module: Module | None
     structure: ModuleStructure
     configuration: ConfigurationTree
     classification: ModuleClassification
@@ -144,10 +196,14 @@ class CompiledVariant:
     pipeline_spec: PipelineSpec
     #: content hash of the module (the memoization key of the variant)
     content_key: str = ""
+    #: design name when no module is attached (lane-derived variants)
+    design_name: str = ""
+    #: the design family this variant was derived from (None = full path)
+    family: FamilyAnalysis | None = None
 
     @property
     def name(self) -> str:
-        return self.module.name
+        return self.module.name if self.module is not None else self.design_name
 
     @property
     def lanes(self) -> int:
@@ -163,43 +219,27 @@ class CompiledVariant:
 
 
 def module_content_key(module: Module) -> str:
-    """A stable content hash of a module's canonical IR text."""
-    return hashlib.sha256(print_module(module).encode()).hexdigest()
+    """A stable content hash of a module's structural content.
 
-
-class _BoundedCache:
-    """A small LRU cache (plain dict + recency eviction, thread-safe)."""
-
-    def __init__(self, maxsize: int = 256):
-        self.maxsize = maxsize
-        self._data: OrderedDict = OrderedDict()
-        self._lock = threading.Lock()
-
-    def get(self, key):
-        with self._lock:
-            if key not in self._data:
-                return None
-            self._data.move_to_end(key)
-            return self._data[key]
-
-    def put(self, key, value) -> None:
-        with self._lock:
-            self._data[key] = value
-            self._data.move_to_end(key)
-            while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-    def clear(self) -> None:
-        with self._lock:
-            self._data.clear()
+    Computed once per module instance and cached on it (see
+    :meth:`repro.ir.functions.Module.content_fingerprint`) — repeated
+    memoization lookups no longer pretty-print the IR.
+    """
+    return module.content_fingerprint()
 
 
 @dataclass
 class PipelineCacheStats:
-    """Hit/miss counters of the pipeline's memoization layers."""
+    """Hit/miss counters and stage timings of the pipeline's layers.
+
+    ``stage_seconds`` accumulates the wall time spent *computing* in each
+    stage (parse, analyze, resource, throughput, feasibility, calibrate)
+    so a sweep can name the guilty stage when throughput regresses;
+    ``family_*`` counts the lane-scaling law's work (``hits`` = members
+    derived analytically, ``misses`` = canonical members fully analysed,
+    ``fallbacks`` = designs that were not lane-separable); ``disk_*``
+    counts warm-start loads from the persistent store.
+    """
 
     parse_hits: int = 0
     parse_misses: int = 0
@@ -209,6 +249,12 @@ class PipelineCacheStats:
     resource_misses: int = 0
     calibration_hits: int = 0
     calibration_misses: int = 0
+    family_hits: int = 0
+    family_misses: int = 0
+    family_fallbacks: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+    stage_seconds: dict = field(default_factory=dict)
 
     @property
     def hits(self) -> int:
@@ -221,17 +267,25 @@ class PipelineCacheStats:
             + self.calibration_misses
         )
 
+    def add_time(self, stage: str, seconds: float) -> None:
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
     def as_dict(self) -> dict:
         return {
             "parse": [self.parse_hits, self.parse_misses],
             "variant": [self.variant_hits, self.variant_misses],
             "resource": [self.resource_hits, self.resource_misses],
             "calibration": [self.calibration_hits, self.calibration_misses],
+            "family": [self.family_hits, self.family_misses],
+            "family_fallbacks": self.family_fallbacks,
+            "disk": [self.disk_hits, self.disk_misses],
+            "stage_seconds": dict(self.stage_seconds),
         }
 
 
 # ----------------------------------------------------------------------
-# Per-device calibration artifacts (process-wide, built once per device)
+# Per-device calibration artifacts (process-wide, built once per device,
+# persisted to the warm-start store for the next process)
 # ----------------------------------------------------------------------
 
 
@@ -258,14 +312,51 @@ _HOST_CACHE: dict = {}
 
 def clear_calibration_cache() -> None:
     """Drop every process-wide cache (calibration, structural analysis,
-    shared resource estimates) — for tests."""
+    shared resource estimates, lane-scaling families) — for tests.  The
+    persistent disk store is untouched; redirect ``TYBEC_CACHE_DIR`` (or
+    run ``tybec cache clear``) to control that layer."""
     with _CALIBRATION_LOCK:
         _MEMSIM_CACHE.clear()
         _COSTDB_CACHE.clear()
         _DRAM_CACHE.clear()
         _HOST_CACHE.clear()
     _STRUCTURAL_CACHE.clear()
+    _DERIVED_CACHE.clear()
     _RESOURCE_CACHE.clear()
+    clear_family_caches()
+
+
+def pipeline_cache_info() -> list[dict]:
+    """Occupancy and hit/miss/eviction counters of every process-wide cache."""
+    return (
+        [_STRUCTURAL_CACHE.info(), _DERIVED_CACHE.info(), _RESOURCE_CACHE.info()]
+        + family_cache_info()
+    )
+
+
+def adopt_shared_calibration(options: CompilationOptions) -> None:
+    """Seed this process's calibration caches from pre-resolved options.
+
+    A pool parent resolves calibration once and ships it inside the
+    pickled options; without adoption the worker would treat those models
+    as caller-injected (they are not in its own caches), disabling the
+    shared resource/family caches.  Only call this for options whose
+    models came from the shared default calibration — the caller (the
+    pool backend) tracks that bit.  ``setdefault`` keeps the first winner
+    so concurrent batches converge on one object identity per device.
+    """
+    device = options.device
+    with _CALIBRATION_LOCK:
+        if options.cost_db is not None:
+            key = (device, options.synthesis_noise)
+            _COSTDB_CACHE.setdefault(key, options.cost_db)
+            options.cost_db = _COSTDB_CACHE[key]
+        if options.dram_bandwidth is not None:
+            _DRAM_CACHE.setdefault(device, options.dram_bandwidth)
+            options.dram_bandwidth = _DRAM_CACHE[device]
+        if options.host_bandwidth is not None:
+            _HOST_CACHE.setdefault(device, options.host_bandwidth)
+            options.host_bandwidth = _HOST_CACHE[device]
 
 
 def _shared_memory_simulator(device: FPGADevice) -> MemorySystemSimulator:
@@ -280,52 +371,77 @@ class CalibrationStage:
     """Resolve the per-device calibration artifacts for an option set.
 
     Injected models (``options.cost_db`` etc.) win; everything else comes
-    from the process-wide cache, calibrated on first use.  Resolved models
-    are written back into the options — preserving the original driver's
-    lazy-fill behaviour, and making a later pickle of the options carry the
-    calibration to worker processes for free.
+    from the process-wide cache, warm-started from the persistent store
+    and calibrated from scratch only when both layers miss.  Resolved
+    models are written back into the options — preserving the original
+    driver's lazy-fill behaviour, and making a later pickle of the options
+    carry the calibration to worker processes for free.
     """
 
+    def _resolve(self, memory_cache: dict, memory_key, disk_token,
+                 compute, stats: PipelineCacheStats):
+        """Memory → disk → compute, publishing upwards on the way out."""
+        with _CALIBRATION_LOCK:
+            value = memory_cache.get(memory_key)
+        if value is not None:
+            return value, False
+        disk = default_disk_cache()
+        if disk is not None:
+            value = disk.get("calibration", disk_token)
+            if value is not None:
+                stats.disk_hits += 1
+                with _CALIBRATION_LOCK:
+                    memory_cache.setdefault(memory_key, value)
+                    value = memory_cache[memory_key]
+                return value, False
+            stats.disk_misses += 1
+        value = compute()
+        with _CALIBRATION_LOCK:
+            memory_cache.setdefault(memory_key, value)
+            value = memory_cache[memory_key]
+        if disk is not None:
+            disk.put("calibration", disk_token, value)
+        return value, True
+
     def run(self, options: CompilationOptions, stats: PipelineCacheStats) -> CalibrationArtifacts:
+        started = time.perf_counter()
         device = options.device
         sim = _shared_memory_simulator(device)
         missed = False
 
         if options.cost_db is None:
-            key = (device, options.synthesis_noise)
-            with _CALIBRATION_LOCK:
-                db = _COSTDB_CACHE.get(key)
-            if db is None:
-                missed = True
+            def _calibrate():
                 synthesizer = SyntheticSynthesizer(device, options.synthesis_noise)
-                db = calibrate_device(
+                return calibrate_device(
                     synthesizer.characterize(), dsp_input_width=device.dsp_input_width
                 )
-                with _CALIBRATION_LOCK:
-                    _COSTDB_CACHE[key] = db
-            options.cost_db = db
+
+            options.cost_db, computed = self._resolve(
+                _COSTDB_CACHE, (device, options.synthesis_noise),
+                ("costdb", repr(device), options.synthesis_noise),
+                _calibrate, stats,
+            )
+            missed |= computed
 
         if options.dram_bandwidth is None:
-            with _CALIBRATION_LOCK:
-                dram = _DRAM_CACHE.get(device)
-            if dram is None:
-                missed = True
-                dram = SustainedBandwidthModel.from_simulator(sim, name=f"{device.name}-dram")
-                with _CALIBRATION_LOCK:
-                    _DRAM_CACHE[device] = dram
-            options.dram_bandwidth = dram
+            options.dram_bandwidth, computed = self._resolve(
+                _DRAM_CACHE, device, ("dram", repr(device)),
+                lambda: SustainedBandwidthModel.from_simulator(
+                    sim, name=f"{device.name}-dram"
+                ),
+                stats,
+            )
+            missed |= computed
 
         if options.host_bandwidth is None:
-            with _CALIBRATION_LOCK:
-                host = _HOST_CACHE.get(device)
-            if host is None:
-                missed = True
-                host = SustainedBandwidthModel.host_from_simulator(
+            options.host_bandwidth, computed = self._resolve(
+                _HOST_CACHE, device, ("host", repr(device)),
+                lambda: SustainedBandwidthModel.host_from_simulator(
                     sim, name=f"{device.name}-host"
-                )
-                with _CALIBRATION_LOCK:
-                    _HOST_CACHE[device] = host
-            options.host_bandwidth = host
+                ),
+                stats,
+            )
+            missed |= computed
 
         if missed:
             stats.calibration_misses += 1
@@ -333,6 +449,7 @@ class CalibrationStage:
             stats.calibration_hits += 1
         with _CALIBRATION_LOCK:
             shared = options.cost_db is _COSTDB_CACHE.get((device, options.synthesis_noise))
+        stats.add_time("calibrate", time.perf_counter() - started)
         return CalibrationArtifacts(
             memory_simulator=sim,
             cost_db=options.cost_db,
@@ -351,7 +468,7 @@ class ParseStage:
     """TyTra-IR text → validated module (memoized on the source text)."""
 
     def __init__(self, maxsize: int = 128):
-        self._cache = _BoundedCache(maxsize)
+        self._cache = BoundedCache(maxsize, name="parse")
 
     def run(self, text: str, name: str, stats: PipelineCacheStats) -> Module:
         key = (hashlib.sha256(text.encode()).hexdigest(), name)
@@ -360,37 +477,56 @@ class ParseStage:
             stats.parse_hits += 1
             return module
         stats.parse_misses += 1
+        started = time.perf_counter()
         module = parse_module(text, name=name)
         validate_module(module)
         self._cache.put(key, module)
+        stats.add_time("parse", time.perf_counter() - started)
         return module
 
 
 def _latency_key(options: CompilationOptions) -> tuple:
-    lat = options.latency_model
-    return (lat.div_cycles_per_bit, lat.sqrt_cycles_per_bit, lat.input_stage_cycles)
+    return latency_key(options.latency_model)
 
 
 #: process-wide cache of the clock-independent structural analysis
-#: (structure, configuration tree, classification, schedules), keyed on
-#: (content hash, latency model) — shared by every pipeline so a clock
-#: axis in a sweep does not re-analyse identical modules per clock value
-_STRUCTURAL_CACHE = _BoundedCache(512)
+#: (structure, configuration tree, classification, schedules, family),
+#: keyed on (content hash, latency model) — shared by every pipeline so a
+#: clock axis in a sweep does not re-analyse identical modules per clock
+_STRUCTURAL_CACHE = BoundedCache(
+    env_int("TYBEC_STRUCT_CACHE_SIZE", 512), name="structural"
+)
+
+#: process-wide cache of lane-derived structural bundles for *lazy*
+#: recipes, keyed on (family, latency, lanes, design name) — the clock
+#: axis of a sweep re-derives nothing
+_DERIVED_CACHE = BoundedCache(
+    env_int("TYBEC_STRUCT_CACHE_SIZE", 512), name="derived"
+)
 
 
 class AnalysisStage:
-    """Module → :class:`CompiledVariant`, memoized on content hash.
+    """Module → :class:`CompiledVariant`, memoized on content fingerprint.
 
     Only the pipeline spec depends on the clock; the structural bundle is
     memoized process-wide on (content, latency model) and reused across
-    pipelines — e.g. across the clock axis of a multi-axis sweep.
+    pipelines — e.g. across the clock axis of a multi-axis sweep.  For
+    lane-separable designs the bundle is *derived* from the design
+    family's canonical analysis (one full analysis per family, however
+    many lane counts the sweep visits); anything that fails the
+    separability check takes the full path automatically.
     """
 
     def __init__(self, maxsize: int = 256):
-        self._cache = _BoundedCache(maxsize)
+        self._cache = BoundedCache(maxsize, name="variant")
 
+    # -- real modules ---------------------------------------------------
     def run(
-        self, module: Module, options: CompilationOptions, stats: PipelineCacheStats
+        self,
+        module: Module,
+        options: CompilationOptions,
+        stats: PipelineCacheStats,
+        recipe_token: tuple | None = None,
     ) -> CompiledVariant:
         content = module_content_key(module)
         lat_key = _latency_key(options)
@@ -400,17 +536,17 @@ class AnalysisStage:
             stats.variant_hits += 1
             return variant
         stats.variant_misses += 1
+        started = time.perf_counter()
 
         bundle = _STRUCTURAL_CACHE.get((content, lat_key))
         if bundle is None:
-            validate_module(module)
-            structure = ModuleStructure.from_module(module)
-            tree = build_configuration_tree(module)
-            classification = classify_module(module)
-            schedules = schedule_module(module, options.latency_model)
-            bundle = (structure, tree, classification, schedules)
+            bundle = self._structural_bundle(module, content, lat_key, options, stats)
             _STRUCTURAL_CACHE.put((content, lat_key), bundle)
-        structure, tree, classification, schedules = bundle
+        structure, tree, classification, schedules, family = bundle
+        if family is not None and recipe_token is not None:
+            # teach the sweep layer's recipe index about this family so
+            # later lane counts of the same recipe skip lowering entirely
+            register_recipe_alias(recipe_token, family)
         spec = pipeline_spec_from_schedule(
             module, structure, schedules, clock_mhz=options.resolved_clock_mhz()
         )
@@ -422,7 +558,130 @@ class AnalysisStage:
             schedules=schedules,
             pipeline_spec=spec,
             content_key=content,
+            family=family,
         )
+        self._cache.put(key, variant)
+        stats.add_time("analyze", time.perf_counter() - started)
+        return variant
+
+    def _structural_bundle(
+        self,
+        module: Module,
+        content: str,
+        lat_key: tuple,
+        options: CompilationOptions,
+        stats: PipelineCacheStats,
+    ) -> tuple:
+        sep = check_lane_separable(module) if options.lane_scaling else None
+        fingerprint = None
+        if sep is not None:
+            fingerprint = family_fingerprint(module, sep)
+            family = lookup_family(fingerprint, lat_key)
+            if family is not None:
+                # the lane-scaling law: derive this member from the family
+                stats.family_hits += 1
+                return self._derived_bundle(family, sep.lanes, module.name, module)
+
+        # the full path: validate, analyse, schedule — once per family
+        # (separable designs) or once per content (everything else)
+        disk = default_disk_cache() if sep is None else None
+        if disk is not None:
+            loaded = disk.get("analysis", (content, lat_key))
+            if loaded is not None:
+                stats.disk_hits += 1
+                return loaded
+            stats.disk_misses += 1
+
+        validate_module(module)
+        structure = ModuleStructure.from_module(module)
+        tree = build_configuration_tree(module)
+        classification = classify_from_parts(module, tree, structure)
+        schedules = schedule_module(module, options.latency_model)
+
+        family = None
+        if sep is not None:
+            family = build_family(module, sep, fingerprint, lat_key,
+                                  structure, schedules, classification)
+            if family is not None:
+                stats.family_misses += 1
+                register_family(family)
+            else:
+                stats.family_fallbacks += 1
+        elif options.lane_scaling:
+            stats.family_fallbacks += 1
+
+        bundle = (structure, tree, classification, schedules, family)
+        if disk is not None:
+            disk.put("analysis", (content, lat_key), bundle)
+        return bundle
+
+    @staticmethod
+    def _derived_bundle(
+        family: FamilyAnalysis, lanes: int, design_name: str, module: Module | None
+    ) -> tuple:
+        structure = derive_structure(family, lanes, module=module)
+        tree = derive_tree(family, lanes, design_name, module=module)
+        classification = derive_classification(family, lanes)
+        return (structure, tree, classification, family.schedules, family)
+
+    # -- lazy recipes ---------------------------------------------------
+    def run_handle(
+        self,
+        handle: LaneFamilyHandle,
+        options: CompilationOptions,
+        stats: PipelineCacheStats,
+    ) -> CompiledVariant:
+        """Analyse a sweep recipe, lowering its module only when needed.
+
+        A warm family turns the whole analysis into O(lanes) dataclass
+        assembly; a cold (or non-separable) recipe materializes the module
+        and takes the normal path, registering the family for every
+        member that follows.
+        """
+        lat_key = _latency_key(options)
+        clock = options.resolved_clock_mhz()
+        key = ("recipe", handle.point_token(), clock, lat_key)
+        variant = self._cache.get(key)
+        if variant is not None:
+            stats.variant_hits += 1
+            return variant
+
+        if options.lane_scaling and handle._module is None:
+            family = lookup_family_for_recipe(handle.family_token(), lat_key)
+            if family is not None:
+                stats.variant_misses += 1
+                stats.family_hits += 1
+                started = time.perf_counter()
+                bundle_key = (family.fingerprint, family.latency, handle.lanes,
+                              handle.design_name)
+                bundle = _DERIVED_CACHE.get(bundle_key)
+                if bundle is None:
+                    bundle = self._derived_bundle(
+                        family, handle.lanes, handle.design_name, None
+                    )
+                    _DERIVED_CACHE.put(bundle_key, bundle)
+                structure, tree, classification, schedules, family = bundle
+                spec = pipeline_spec_from_schedule(
+                    None, structure, schedules, clock_mhz=clock,
+                    name=handle.design_name,
+                )
+                variant = CompiledVariant(
+                    module=None,
+                    structure=structure,
+                    configuration=tree,
+                    classification=classification,
+                    schedules=schedules,
+                    pipeline_spec=spec,
+                    content_key=f"recipe:{handle.point_token()!r}",
+                    design_name=handle.design_name,
+                    family=family,
+                )
+                self._cache.put(key, variant)
+                stats.add_time("analyze", time.perf_counter() - started)
+                return variant
+
+        variant = self.run(handle.materialize(), options, stats,
+                           recipe_token=handle.family_token())
         self._cache.put(key, variant)
         return variant
 
@@ -430,7 +689,9 @@ class AnalysisStage:
 #: process-wide resource-estimate cache for default-calibrated devices,
 #: keyed on (content, latency model, device, noise) — the estimate does
 #: not depend on the clock, so the clock axis of a sweep shares it
-_RESOURCE_CACHE = _BoundedCache(512)
+_RESOURCE_CACHE = BoundedCache(
+    env_int("TYBEC_RESOURCE_CACHE_SIZE", 512), name="resource"
+)
 
 
 class ResourceStage:
@@ -440,15 +701,18 @@ class ResourceStage:
     the scheduler's balancing registers) and the cost database — not the
     clock — and is memoized accordingly: per-pipeline always, and
     process-wide when the cost database is the shared default calibration
-    for the device.  Every call returns a fresh shell around the cached
-    breakdown (own ``total``, own ``functions`` list), so a caller
-    adjusting a report's resources — as the pre-pipeline driver itself
-    did with balancing registers — cannot corrupt other reports or future
-    cache hits.
+    for the device.  Lane-derived variants reuse the family's per-device
+    PE datapath usage and fold it through the same
+    ``estimate_from_structure`` arithmetic as the full path, which keeps
+    their estimates bit-identical.  Every call returns a fresh shell
+    around the cached breakdown (own ``total``, own ``functions`` list),
+    so a caller adjusting a report's resources — as the pre-pipeline
+    driver itself did with balancing registers — cannot corrupt other
+    reports or future cache hits.
     """
 
     def __init__(self, maxsize: int = 256):
-        self._cache = _BoundedCache(maxsize)
+        self._cache = BoundedCache(maxsize, name="resource-session")
 
     @staticmethod
     def _fresh_view(estimate: ModuleResourceEstimate) -> ModuleResourceEstimate:
@@ -459,6 +723,46 @@ class ResourceStage:
             offset_buffers=estimate.offset_buffers,
             stream_control=estimate.stream_control,
             structure=estimate.structure,
+        )
+
+    def _family_pe_usage(
+        self,
+        family: FamilyAnalysis,
+        estimator: ResourceEstimator,
+        options: CompilationOptions,
+        calibration: CalibrationArtifacts,
+    ) -> ResourceUsage:
+        """The family's per-instance PE datapath usage for this device."""
+        if not calibration.shared_cost_db:
+            # injected cost database: compute fresh for this session only
+            return estimator.estimate_function_body(family.pe)
+        key = (options.device, options.synthesis_noise)
+        with family.usage_lock:
+            usage = family.leaf_usage.get(key)
+        if usage is None:
+            usage = estimator.estimate_function_body(family.pe)
+            with family.usage_lock:
+                family.leaf_usage.setdefault(key, usage)
+                usage = family.leaf_usage[key]
+            # re-publish so the persisted family carries this device's
+            # usage into the next process's warm start
+            register_family(family)
+        return usage
+
+    def _compute(
+        self,
+        variant: CompiledVariant,
+        estimator: ResourceEstimator,
+        options: CompilationOptions,
+        calibration: CalibrationArtifacts,
+    ) -> ModuleResourceEstimate:
+        if variant.family is not None:
+            usage = self._family_pe_usage(variant.family, estimator, options, calibration)
+            leaf_usages = {variant.family.pe_name: usage}
+        else:
+            leaf_usages = estimator.leaf_usages(variant.module, variant.structure)
+        return estimator.estimate_from_structure(
+            variant.structure, leaf_usages, design=variant.name
         )
 
     def run(
@@ -485,8 +789,9 @@ class ResourceStage:
                 return self._fresh_view(estimate)
 
         stats.resource_misses += 1
+        started = time.perf_counter()
         estimator = ResourceEstimator(calibration.cost_db)
-        estimate = estimator.estimate_module(variant.module)
+        estimate = self._compute(variant, estimator, options, calibration)
         # the estimation flow of Figure 11 also accounts for the data/control
         # delay lines the scheduler implies (pipeline balancing registers),
         # replicated once per lane
@@ -496,6 +801,7 @@ class ResourceStage:
         self._cache.put(key, estimate)
         if shared_key is not None:
             _RESOURCE_CACHE.put(shared_key, estimate)
+        stats.add_time("resource", time.perf_counter() - started)
         return self._fresh_view(estimate)
 
 
@@ -597,7 +903,8 @@ class EstimationPipeline:
     One pipeline corresponds to one estimation session (one option set).
     Repeated costings of the same or related variants reuse the cached
     stage products; the per-device calibration artifacts are shared across
-    every pipeline in the process.
+    every pipeline in the process (and across processes through the
+    persistent warm-start store).
     """
 
     def __init__(self, options: CompilationOptions | None = None):
@@ -634,8 +941,10 @@ class EstimationPipeline:
     def parse(self, text: str, name: str = "design") -> Module:
         return self._parse.run(text, name, self.stats)
 
-    def analyze(self, module: Module) -> CompiledVariant:
+    def analyze(self, module: Module | LaneFamilyHandle) -> CompiledVariant:
         """Run the structural part of the estimation flow."""
+        if isinstance(module, LaneFamilyHandle):
+            return self._analysis.run_handle(module, self.options, self.stats)
         return self._analysis.run(module, self.options, self.stats)
 
     def resources(self, variant: CompiledVariant) -> ModuleResourceEstimate:
@@ -657,7 +966,7 @@ class EstimationPipeline:
     # -- the full flow -----------------------------------------------------
     def cost(
         self,
-        module: Module | str,
+        module: Module | str | LaneFamilyHandle,
         workload: KernelInstance,
         pattern: AccessPattern | PatternKind = PatternKind.CONTIGUOUS,
     ) -> CostReport:
@@ -666,21 +975,26 @@ class EstimationPipeline:
         # the per-variant estimation time (the paper's 0.3 s figure is per
         # variant, with calibration done once per device)
         calibration = self.calibrate()
+        stats = self.stats
 
         started = time.perf_counter()
         if isinstance(module, str):
             module = self.parse(module)
         variant = self.analyze(module)
-        estimate = self._resource.run(variant, calibration, self.options, self.stats)
+        estimate = self._resource.run(variant, calibration, self.options, stats)
+        mark = time.perf_counter()
         params, selection = self._throughput.extract_parameters(
             variant, workload, pattern, self.options, calibration
         )
         throughput = estimate_throughput(params, selection.form)
+        stats.add_time("throughput", time.perf_counter() - mark)
+        mark = time.perf_counter()
         feasibility = self._feasibility.run(estimate, params, selection.form, self.options)
+        stats.add_time("feasibility", time.perf_counter() - mark)
         elapsed = time.perf_counter() - started
 
         return CostReport(
-            design=module.name,
+            design=variant.name,
             device=self.options.device,
             resources=estimate,
             throughput=throughput,
@@ -692,8 +1006,8 @@ class EstimationPipeline:
     def cost_many(
         self,
         jobs: Iterable[
-            tuple[Module | str, KernelInstance]
-            | tuple[Module | str, KernelInstance, AccessPattern | PatternKind]
+            tuple[Module | str | LaneFamilyHandle, KernelInstance]
+            | tuple[Module | str | LaneFamilyHandle, KernelInstance, AccessPattern | PatternKind]
         ],
     ) -> list[CostReport]:
         """Cost a batch of (module, workload[, pattern]) jobs in order."""

@@ -243,30 +243,36 @@ def schedule_module(
 
 
 def pipeline_spec_from_schedule(
-    module: Module,
+    module: Module | None,
     structure,
     schedules: dict[str, ScheduledPipeline],
     clock_mhz: float,
     element_bytes: int | None = None,
+    name: str | None = None,
 ) -> PipelineSpec:
     """Assemble the simulator's :class:`PipelineSpec` for a compiled design.
 
     The kernel pipeline depth of a coarse-grained pipeline is the sum of
     the depths of the chained stages; lanes replicate the whole chain.
+    Only scheduled functions contribute depth, and only leaf datapaths are
+    ever scheduled, so the instantiated functions with a schedule *are*
+    the leaf pipelines — which lets a structure derived by the
+    lane-scaling law (whose module was never lowered: ``module is None``)
+    assemble the identical spec.
     """
-    leaf_names = [n for n, c in structure.instance_counts.items()
-                  if module.get_function(n).is_leaf]
     per_lane_depth = 0
-    for name in leaf_names:
-        count = structure.instance_counts[name]
+    for fname, count in structure.instance_counts.items():
+        if fname not in schedules:
+            continue
         per_lane_count = max(1, round(count / max(structure.lanes, 1)))
-        if name in schedules:
-            per_lane_depth += schedules[name].pipeline_depth * per_lane_count
+        per_lane_depth += schedules[fname].pipeline_depth * per_lane_count
     element_bytes = element_bytes or max(1, (structure.element_width + 7) // 8)
     in_per_lane = max(1, structure.input_streams // max(structure.lanes, 1))
     out_per_lane = max(1, structure.output_streams // max(structure.lanes, 1))
+    if name is None:
+        name = module.name
     return PipelineSpec(
-        name=module.name,
+        name=name,
         lanes=structure.lanes,
         vectorization=1,
         pipeline_depth=max(1, per_lane_depth),

@@ -30,6 +30,7 @@ Sub-modules
     Aggregation of everything into a single cost report for a variant.
 """
 
+from repro.cost.cache import BoundedCache, DiskCache, default_disk_cache
 from repro.cost.calibration import (
     CostExpression,
     DeviceCostDB,
@@ -55,6 +56,9 @@ from repro.cost.throughput import (
 from repro.cost.report import CostReport, FeasibilityCheck
 
 __all__ = [
+    "BoundedCache",
+    "DiskCache",
+    "default_disk_cache",
     "CostExpression",
     "PolynomialCost",
     "PiecewiseLinearCost",

@@ -98,8 +98,24 @@ class SustainedBandwidthModel:
     def rho(
         self, nbytes: float, pattern: AccessPattern | PatternKind = PatternKind.CONTIGUOUS
     ) -> float:
-        """The scaling factor applied to the peak bandwidth in the EKIT model."""
-        return min(1.0, self.sustained_gbps(nbytes, pattern) / self.peak_gbps)
+        """The scaling factor applied to the peak bandwidth in the EKIT model.
+
+        Memoized per (size, pattern class): a sweep evaluates thousands of
+        points over a handful of distinct footprints, and the log-space
+        interpolation behind :meth:`sustained_gbps` is pure function of
+        both arguments.  The cached value is the verbatim result of the
+        same computation, so memoization cannot change any report.
+        """
+        kind = pattern.kind if isinstance(pattern, AccessPattern) else PatternKind(pattern)
+        cache = self.__dict__.setdefault("_rho_cache", {})
+        key = (nbytes, kind)
+        value = cache.get(key)
+        if value is None:
+            if len(cache) > 4096:
+                cache.clear()
+            value = min(1.0, self.sustained_gbps(nbytes, kind) / self.peak_gbps)
+            cache[key] = value
+        return value
 
     def as_dict(self) -> dict:
         return {

@@ -1,0 +1,313 @@
+"""Bounded in-process caches and the persistent warm-start store.
+
+The estimation pipeline's speed rests on never recomputing what a cache
+already knows.  Two kinds of cache back that up:
+
+:class:`BoundedCache`
+    A thread-safe LRU used for every process-wide memoization layer
+    (structural analyses, resource estimates, design families).  Unlike
+    the plain dicts it replaces, it is *bounded* — long suite runs across
+    many kernels, devices and latency models cannot grow memory without
+    limit — and it counts hits/misses/evictions so the pipeline can report
+    cache health instead of guessing at it.
+
+:class:`DiskCache`
+    A versioned, content-keyed on-disk store for the expensive one-time
+    artifacts: per-device calibration (cost database + bandwidth fits) and
+    per-family structural analyses.  Entries are pickled under
+    ``<root>/v<N>/<namespace>/<sha256>.pkl`` and written with
+    write-to-temp + atomic rename, so concurrent writers (e.g. a process
+    pool whose workers all miss the same key at once) can never expose a
+    torn file; the loser of the race simply overwrites with identical
+    content.  Reads treat any undecodable or mismatched entry as a miss.
+    Each namespace is LRU-bounded by file count (access refreshes mtime).
+
+The store location is resolved lazily from ``TYBEC_CACHE_DIR`` (default
+``~/.cache/tybec``); setting it to an empty string, ``0`` or ``off``
+disables persistence entirely.  Capacity is ``TYBEC_DISK_CACHE_CAPACITY``
+entries per namespace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = [
+    "BoundedCache",
+    "DiskCache",
+    "default_disk_cache",
+    "env_int",
+    "redirected_cache_dir",
+]
+
+#: bump to invalidate every persisted artifact after an incompatible
+#: change to the cost model or the pickled payload layout
+SCHEMA_VERSION = 1
+
+
+def env_int(name: str, default: int) -> int:
+    """An integer read from the environment, falling back on garbage."""
+    try:
+        return int(os.environ.get(name, default))
+    except (TypeError, ValueError):
+        return default
+
+
+class BoundedCache:
+    """A small thread-safe LRU cache with hit/miss/eviction counters."""
+
+    def __init__(self, maxsize: int = 256, name: str = ""):
+        self.maxsize = max(1, maxsize)
+        self.name = name
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key):
+        with self._lock:
+            if key not in self._data:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._data.move_to_end(key)
+            return self._data[key]
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def info(self) -> dict:
+        """Counters and occupancy, for cache-health reporting."""
+        return {
+            "name": self.name,
+            "size": len(self._data),
+            "capacity": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class DiskCache:
+    """Versioned, content-keyed, atomically-written persistent store."""
+
+    #: puts per namespace between LRU eviction scans (a scan stats every
+    #: entry, so it is amortized rather than paid on each write)
+    EVICTION_STRIDE = 8
+
+    def __init__(self, root: Path | str, capacity: int | None = None):
+        self.root = Path(root)
+        self.capacity = capacity if capacity is not None else env_int(
+            "TYBEC_DISK_CACHE_CAPACITY", 256
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._lock = threading.Lock()
+        self._put_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def version_dir(self) -> Path:
+        return self.root / f"v{SCHEMA_VERSION}"
+
+    def _entry_path(self, namespace: str, token) -> Path:
+        digest = hashlib.sha256(repr(token).encode()).hexdigest()
+        return self.version_dir / namespace / f"{digest}.pkl"
+
+    # ------------------------------------------------------------------
+    def get(self, namespace: str, token):
+        """Load one entry, or None on miss/corruption/schema mismatch."""
+        path = self._entry_path(namespace, token)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if payload.get("token") != repr(token):
+                raise ValueError("key collision or stale entry")
+            try:
+                # refresh recency for the LRU eviction scan; best-effort —
+                # a read-only cache directory must still serve warm starts
+                os.utime(path)
+            except OSError:
+                pass
+        except FileNotFoundError:
+            with self._lock:
+                self.misses += 1
+            return None
+        except Exception:
+            # torn, corrupt or incompatible entry: treat as a miss and
+            # drop it so it cannot fail every future read
+            with self._lock:
+                self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        with self._lock:
+            self.hits += 1
+        return payload["value"]
+
+    def put(self, namespace: str, token, value) -> None:
+        """Persist one entry (atomic rename; failures are non-fatal)."""
+        path = self._entry_path(namespace, token)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump({"token": repr(token), "value": value}, fh,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+            # amortize the directory scan: occupancy may overshoot the
+            # capacity by at most one stride between scans
+            with self._lock:
+                count = self._put_counts.get(namespace, 0) + 1
+                self._put_counts[namespace] = count
+            if count % self.EVICTION_STRIDE == 0:
+                self._evict(path.parent)
+        except OSError:
+            # a read-only or full cache directory must never break costing
+            pass
+
+    def _evict(self, namespace_dir: Path) -> None:
+        try:
+            entries = sorted(
+                (p for p in namespace_dir.iterdir() if p.suffix == ".pkl"),
+                key=lambda p: p.stat().st_mtime,
+            )
+        except OSError:
+            return
+        excess = len(entries) - self.capacity
+        for path in entries[:max(0, excess)]:
+            try:
+                path.unlink()
+                with self._lock:
+                    self.evictions += 1
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Remove every cached entry (all schema versions); returns count."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in sorted(self.root.rglob("*.pkl"), reverse=True):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for directory in sorted(self.root.rglob("*"), reverse=True):
+            if directory.is_dir():
+                try:
+                    directory.rmdir()
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> dict:
+        """On-disk occupancy per namespace plus this process's counters."""
+        namespaces: dict[str, dict] = {}
+        if self.version_dir.exists():
+            for ns_dir in sorted(self.version_dir.iterdir()):
+                if not ns_dir.is_dir():
+                    continue
+                files = [p for p in ns_dir.iterdir() if p.suffix == ".pkl"]
+                namespaces[ns_dir.name] = {
+                    "entries": len(files),
+                    "bytes": sum(p.stat().st_size for p in files),
+                }
+        return {
+            "root": str(self.root),
+            "schema_version": SCHEMA_VERSION,
+            "capacity_per_namespace": self.capacity,
+            "namespaces": namespaces,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+# ----------------------------------------------------------------------
+# The default store (resolved lazily so tests/CLI can redirect it)
+# ----------------------------------------------------------------------
+
+_INSTANCES: dict[str, DiskCache] = {}
+_INSTANCES_LOCK = threading.Lock()
+
+
+def cache_location() -> str | None:
+    """The configured cache directory, or None when persistence is off."""
+    raw = os.environ.get("TYBEC_CACHE_DIR")
+    if raw is None:
+        return str(Path.home() / ".cache" / "tybec")
+    raw = raw.strip()
+    if raw in ("", "0") or raw.lower() == "off":
+        return None
+    return raw
+
+
+@contextmanager
+def redirected_cache_dir(path):
+    """Temporarily point the persistent store at ``path``.
+
+    Used by the test and benchmark harnesses to stay hermetic: nothing
+    reads artifacts a previous run persisted under the user's real cache,
+    and nothing pollutes it.  Pass ``"off"`` (or ``""``) to disable
+    persistence inside the block.
+    """
+    previous = os.environ.get("TYBEC_CACHE_DIR")
+    os.environ["TYBEC_CACHE_DIR"] = str(path)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("TYBEC_CACHE_DIR", None)
+        else:
+            os.environ["TYBEC_CACHE_DIR"] = previous
+
+
+def default_disk_cache() -> DiskCache | None:
+    """The process's shared persistent store (None when disabled).
+
+    Resolved from the environment on every call so a test or CLI run can
+    redirect (or disable) persistence without re-importing anything; one
+    :class:`DiskCache` instance is shared per resolved path so the
+    hit/miss counters are process-wide.
+    """
+    location = cache_location()
+    if location is None:
+        return None
+    with _INSTANCES_LOCK:
+        cache = _INSTANCES.get(location)
+        if cache is None:
+            cache = _INSTANCES[location] = DiskCache(location)
+        return cache

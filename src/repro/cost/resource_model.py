@@ -34,9 +34,17 @@ __all__ = ["ModuleStructure", "FunctionResourceEstimate", "ModuleResourceEstimat
 
 @dataclass
 class ModuleStructure:
-    """Structural summary of a design variant extracted from its IR."""
+    """Structural summary of a design variant extracted from its IR.
 
-    module: Module
+    ``module`` is the IR the summary was extracted from.  Structures
+    *derived* analytically by the lane-scaling law (see
+    :mod:`repro.compiler.lanescale`) may carry ``None`` when the member
+    module was never lowered; everything the cost model reads lives in the
+    scalar fields below, so a derived structure is a full citizen of the
+    estimation flow.
+    """
+
+    module: Module | None
     #: instantiation count of every function reachable from the entry
     instance_counts: dict[str, int]
     #: the leaf datapath with the most instructions — the kernel pipeline
@@ -260,25 +268,46 @@ class ResourceEstimator:
         return per_stream.scaled(streams)
 
     # -- functions and modules ----------------------------------------------
-    def estimate_function(self, function_name: str, module: Module) -> ResourceUsage:
-        """Estimate one instance of a function's datapath (no buffers/streams)."""
-        func = module.get_function(function_name)
+    def estimate_function_body(self, func) -> ResourceUsage:
+        """Estimate one instance of a function object's datapath."""
         usage = ResourceUsage()
         for instr in func.instructions():
             usage += self.estimate_instruction(instr)
         return usage
 
-    def estimate_module(self, module: Module) -> ModuleResourceEstimate:
-        """Estimate a whole design variant from its IR."""
-        structure = ModuleStructure.from_module(module)
+    def estimate_function(self, function_name: str, module: Module) -> ResourceUsage:
+        """Estimate one instance of a function's datapath (no buffers/streams)."""
+        return self.estimate_function_body(module.get_function(function_name))
 
+    def leaf_usages(self, module: Module, structure: ModuleStructure) -> dict[str, ResourceUsage]:
+        """Per-instance datapath usage of every instantiated leaf function."""
+        usages: dict[str, ResourceUsage] = {}
+        for name, count in structure.instance_counts.items():
+            if count == 0 or not module.get_function(name).is_leaf:
+                continue
+            usages[name] = self.estimate_function(name, module)
+        return usages
+
+    def estimate_from_structure(
+        self,
+        structure: ModuleStructure,
+        leaf_usages: dict[str, ResourceUsage],
+        design: str,
+    ) -> ModuleResourceEstimate:
+        """Fold per-leaf usages and structural counts into a design estimate.
+
+        This is the single arithmetic implementation behind both the full
+        path (``leaf_usages`` computed by walking the module) and the
+        lane-scaling path (``leaf_usages`` reused from the design family's
+        canonical member) — sharing it is what makes lane-derived reports
+        bit-identical to fully analysed ones.
+        """
         functions: list[FunctionResourceEstimate] = []
         total = ResourceUsage()
         for name, count in sorted(structure.instance_counts.items()):
-            func = module.get_function(name)
-            if not func.is_leaf or count == 0:
+            if name not in leaf_usages or count == 0:
                 continue
-            usage = self.estimate_function(name, module)
+            usage = leaf_usages[name]
             functions.append(FunctionResourceEstimate(name, usage, count))
             total += usage.scaled(count)
 
@@ -292,10 +321,20 @@ class ResourceEstimator:
         total += streams
 
         return ModuleResourceEstimate(
-            design=module.name,
+            design=design,
             total=total.rounded(),
             functions=functions,
             offset_buffers=buffers.rounded(),
             stream_control=streams.rounded(),
             structure=structure,
+        )
+
+    def estimate_module(
+        self, module: Module, structure: ModuleStructure | None = None
+    ) -> ModuleResourceEstimate:
+        """Estimate a whole design variant from its IR."""
+        if structure is None:
+            structure = ModuleStructure.from_module(module)
+        return self.estimate_from_structure(
+            structure, self.leaf_usages(module, structure), design=module.name
         )

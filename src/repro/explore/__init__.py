@@ -32,6 +32,7 @@ from repro.explore.engine import (
     SweepEntry,
     SweepResult,
     canonical_report_dict,
+    merge_stats,
     pareto_frontier,
 )
 from repro.explore.search import (
@@ -57,6 +58,7 @@ __all__ = [
     "SweepEntry",
     "SweepResult",
     "canonical_report_dict",
+    "merge_stats",
     "pareto_frontier",
     "ExplorationResult",
     "exhaustive_search",

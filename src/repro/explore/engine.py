@@ -30,7 +30,11 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.compiler.pipeline import CompilationOptions, EstimationPipeline
+from repro.compiler.pipeline import (
+    CompilationOptions,
+    EstimationPipeline,
+    adopt_shared_calibration,
+)
 from repro.cost.report import CostReport
 from repro.explore.space import CostJob, DesignPoint, DesignSpace, build_jobs
 
@@ -41,8 +45,36 @@ __all__ = [
     "SweepEntry",
     "SweepResult",
     "canonical_report_dict",
+    "merge_stats",
     "pareto_frontier",
 ]
+
+
+def merge_stats(payloads: Sequence[dict | None]) -> dict:
+    """Merge pipeline-stat payloads by summing numeric leaves.
+
+    Counter pairs (``[hits, misses]``) sum element-wise, nested dicts
+    (``stage_seconds``) merge recursively — the shape every backend's
+    aggregated statistics share, whether the pipelines ran in-process or
+    behind a pickle boundary.
+    """
+    merged: dict = {}
+    for payload in payloads:
+        if not payload:
+            continue
+        for key, value in payload.items():
+            if isinstance(value, dict):
+                merged[key] = merge_stats([merged.get(key), value]) \
+                    if key in merged else dict(value)
+            elif isinstance(value, list):
+                current = merged.setdefault(key, [0] * len(value))
+                for i, item in enumerate(value):
+                    current[i] += item
+            elif isinstance(value, (int, float)):
+                merged[key] = merged.get(key, 0) + value
+            else:
+                merged[key] = value
+    return merged
 
 
 def canonical_report_dict(report: CostReport) -> dict:
@@ -101,35 +133,57 @@ class SerialBackend:
             reports.append(pipeline.cost(job.module, job.workload, job.point.pattern))
         return reports
 
+    def collect_stats(self) -> dict:
+        """Aggregated cache/timing statistics over every session pipeline.
 
-def _evaluate_batch(payload) -> list[tuple[int, CostReport]]:
+        Counters are cumulative over the backend's lifetime (a backend
+        reused across sweeps keeps counting), which is what a long-running
+        exploration loop wants to watch.
+        """
+        return merge_stats([p.stats.as_dict() for p in self._pipelines.values()])
+
+
+def _evaluate_batch(payload) -> tuple[list[tuple[int, CostReport]], dict]:
     """Worker entry point: cost one batch of same-session jobs.
 
     Each batch gets a fresh pipeline (the batch *is* the session on this
     side of the pickle boundary, and sharing pipelines across batches
     could mix up differently-injected calibration models); the expensive
-    per-device calibration artifacts are still shared process-wide.
+    per-device calibration artifacts arrive pre-resolved inside the
+    pickled options (see :meth:`ProcessPoolBackend._payloads`), are
+    shared process-wide, and warm-start from the persistent store
+    otherwise.  The worker ships its cache statistics back alongside the
+    reports so the parent can aggregate a sweep-wide picture.
     """
-    options, batch = payload
+    options, batch, shared_default = payload
+    if shared_default:
+        # the shipped models came from the shared default calibration:
+        # seed this worker's process-wide caches so they are recognised
+        # as shared (enabling the cross-session resource/family caches)
+        adopt_shared_calibration(options)
     pipeline = EstimationPipeline(options)
     results = []
     for index, module, workload, pattern in batch:
         results.append((index, pipeline.cost(module, workload, pattern)))
-    return results
+    return results, pipeline.stats.as_dict()
 
 
 class ProcessPoolBackend:
     """Evaluate jobs on a :class:`ProcessPoolExecutor`.
 
-    Jobs are grouped by estimation session so each worker calibrates a
-    device at most once, then split into ``batches_per_worker`` chunks per
-    group to keep all workers busy.  Report order matches the input job
-    order exactly.
+    Jobs are grouped by estimation session and each group's options are
+    calibrated *in the parent* before pickling — the resolved cost
+    database and bandwidth models travel inside the payload, so workers
+    never re-run device calibration the parent (or any earlier sweep in
+    the process) already paid for.  Groups are split into
+    ``batches_per_worker`` chunks to keep all workers busy; report order
+    matches the input job order exactly.
     """
 
     def __init__(self, max_workers: int | None = None, batches_per_worker: int = 2):
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
         self.batches_per_worker = max(1, batches_per_worker)
+        self._last_stats: dict = {}
 
     def _payloads(self, jobs: Sequence[CostJob]) -> list[tuple]:
         groups: dict[tuple, tuple[CompilationOptions, list]] = {}
@@ -142,22 +196,35 @@ class ProcessPoolBackend:
         payloads = []
         target_batches = self.max_workers * self.batches_per_worker
         for options, entries in groups.values():
+            # resolve the one-time per-device artifacts here, once, so the
+            # pickled options carry them to every worker (the workers'
+            # cold-start calibration cost used to multiply per process)
+            shared_default = EstimationPipeline(options).calibrate().shared_cost_db
             batches = min(len(entries), max(1, target_batches // len(groups)))
             size = (len(entries) + batches - 1) // batches
             for start in range(0, len(entries), size):
-                payloads.append((options, entries[start : start + size]))
+                payloads.append((options, entries[start : start + size],
+                                 shared_default))
         return payloads
 
     def run(self, jobs: Sequence[CostJob]) -> list[CostReport]:
         if not jobs:
+            self._last_stats = {}
             return []
         payloads = self._payloads(jobs)
         reports: list[CostReport | None] = [None] * len(jobs)
+        worker_stats: list[dict] = []
         with ProcessPoolExecutor(max_workers=self.max_workers) as executor:
-            for batch_results in executor.map(_evaluate_batch, payloads):
+            for batch_results, stats in executor.map(_evaluate_batch, payloads):
+                worker_stats.append(stats)
                 for index, report in batch_results:
                     reports[index] = report
+        self._last_stats = merge_stats(worker_stats)
         return reports  # type: ignore[return-value]
+
+    def collect_stats(self) -> dict:
+        """Aggregated worker statistics of the most recent :meth:`run`."""
+        return dict(self._last_stats)
 
 
 # ----------------------------------------------------------------------
@@ -212,6 +279,9 @@ class SweepResult:
     entries: list[SweepEntry] = field(default_factory=list)
     #: wall-clock seconds of the whole batch (includes backend overheads)
     wall_seconds: float = 0.0
+    #: aggregated pipeline cache/timing statistics (see ``merge_stats``);
+    #: deliberately *not* part of any canonical report payload
+    stats: dict = field(default_factory=dict)
 
     @property
     def evaluated(self) -> int:
@@ -275,6 +345,15 @@ class SweepResult:
         """Timing-free dicts of all entries (for backend-identity checks)."""
         return [entry.as_dict() for entry in self.entries]
 
+    def stage_timing_rows(self) -> list[dict]:
+        """Per-stage wall time and share, sorted by cost (for CLI tables)."""
+        seconds = self.stats.get("stage_seconds", {}) if self.stats else {}
+        total = sum(seconds.values()) or 1.0
+        return [
+            {"stage": stage, "seconds": value, "share": value / total}
+            for stage, value in sorted(seconds.items(), key=lambda kv: -kv[1])
+        ]
+
 
 # ----------------------------------------------------------------------
 # The engine
@@ -294,7 +373,9 @@ class ExplorationEngine:
         reports = self.backend.run(jobs)
         wall = time.perf_counter() - started
         entries = [SweepEntry(job.point, report) for job, report in zip(jobs, reports)]
-        return SweepResult(entries=entries, wall_seconds=wall)
+        collect = getattr(self.backend, "collect_stats", None)
+        stats = collect() if collect is not None else {}
+        return SweepResult(entries=entries, wall_seconds=wall, stats=stats)
 
     def explore(self, space: DesignSpace) -> SweepResult:
         """Lower a design space and cost every point."""

@@ -29,6 +29,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.compiler.lanescale import LaneFamilyHandle
 from repro.compiler.pipeline import CompilationOptions
 from repro.functional.typetrans import valid_lane_counts
 from repro.ir.functions import Module
@@ -184,7 +185,12 @@ class DesignSpace:
 
 @dataclass(frozen=True)
 class CostJob:
-    """One design point together with its lowered IR and workload.
+    """One design point together with its (possibly lazy) IR and workload.
+
+    ``module`` is either a lowered :class:`~repro.ir.functions.Module` or
+    a :class:`~repro.compiler.lanescale.LaneFamilyHandle` — a pickle-safe
+    ``(kernel, lanes, grid)`` recipe the estimation pipeline lowers only
+    when the design family is cold or not lane-separable.
 
     ``options`` overrides the options the point itself implies — the
     bridge for callers (e.g. the classic lane-sweep searches) whose
@@ -193,7 +199,7 @@ class CostJob:
     """
 
     point: DesignPoint
-    module: Module
+    module: Module | LaneFamilyHandle
     workload: KernelInstance
     options: CompilationOptions | None = None
 
@@ -201,21 +207,29 @@ class CostJob:
         return self.options if self.options is not None else self.point.compilation_options()
 
 
-def build_jobs(space: DesignSpace) -> list[CostJob]:
+def build_jobs(space: DesignSpace, lazy: bool = True) -> list[CostJob]:
     """Lower a design space into cost jobs.
 
-    Modules depend only on (kernel, lanes, grid), so one lowered module is
-    shared by every point along the clock/form/device/pattern axes.
+    Modules depend only on (kernel, lanes, grid), so one module — by
+    default a lazy :class:`~repro.compiler.lanescale.LaneFamilyHandle`
+    recipe — is shared by every point along the clock/form/device/pattern
+    axes.  With ``lazy=False`` every lane count is eagerly lowered, which
+    is what an N-point sweep used to pay; the estimation pipeline produces
+    bit-identical reports either way.
     """
     kernel = space.kernel
     workload = kernel.workload(tuple(space.grid), space.iterations)
-    modules: dict[int, Module] = {}
+    modules: dict[int, Module | LaneFamilyHandle] = {}
     jobs = []
     for point in space.points():
         module = modules.get(point.lanes)
         if module is None:
-            module = modules[point.lanes] = kernel.build_module(
-                lanes=point.lanes, grid=tuple(space.grid)
-            )
+            if lazy:
+                module = LaneFamilyHandle(
+                    kernel=kernel, lanes=point.lanes, grid=tuple(space.grid)
+                )
+            else:
+                module = kernel.build_module(lanes=point.lanes, grid=tuple(space.grid))
+            modules[point.lanes] = module
         jobs.append(CostJob(point=point, module=module, workload=workload))
     return jobs

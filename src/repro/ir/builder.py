@@ -175,7 +175,7 @@ class IRBuilder:
     # -- constants --------------------------------------------------------
     def constant(self, name: str, value: int) -> None:
         """Define a named module constant (used in symbolic stream offsets)."""
-        self.module.constants[name] = int(value)
+        self.module.set_constant(name, value)
 
     def constants(self, **kwargs: int) -> None:
         for name, value in kwargs.items():

@@ -1,0 +1,96 @@
+"""Structural content fingerprints for modules.
+
+The estimation pipeline memoizes every expensive stage on the *content*
+of a module.  The original key was ``sha256(print_module(module))`` —
+correct, but it forced a full pretty-print (string formatting of every
+statement) on every single cost call, which at exploration scale is pure
+overhead: the printer exists to produce human-readable ``.tirl`` text,
+not hash input.
+
+:func:`structural_fingerprint` hashes the same information the printer
+serialises — constants, Manage-IR objects, port declarations and every
+function body — but feeds the hasher compact structural tokens directly,
+with none of the concrete-syntax formatting.  The result is cached on the
+module instance (see :meth:`repro.ir.functions.Module.content_fingerprint`)
+and invalidated by the module's own mutation methods, so in the common
+case a content key is a single attribute read.
+
+Two modules have equal fingerprints iff the printer would serialise them
+identically (up to cosmetic whitespace): the fingerprint covers the module
+name, so — like the old key — structurally identical designs with
+different names stay distinct.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+from repro.ir.instructions import CallInstruction, Instruction, OffsetInstruction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ir.functions import IRFunction, Module
+
+__all__ = ["structural_fingerprint", "fingerprint_function"]
+
+#: bump when the token layout changes (fingerprints key on-disk caches)
+_FINGERPRINT_VERSION = b"tirl-fp/1"
+_SEP = b"\x1f"
+
+
+def _token(*parts) -> bytes:
+    return _SEP.join(str(p).encode() for p in parts) + b"\x1e"
+
+
+def _statement_tokens(stmt) -> bytes:
+    if isinstance(stmt, OffsetInstruction):
+        return _token("off", stmt.result, stmt.result_type, stmt.source, stmt.offset)
+    if isinstance(stmt, Instruction):
+        ops = ",".join(str(o) for o in stmt.operands)
+        return _token(
+            "ins", stmt.result, int(stmt.result_is_global), stmt.result_type,
+            stmt.opcode, ops,
+        )
+    if isinstance(stmt, CallInstruction):
+        return _token("call", stmt.callee, ",".join(stmt.args), stmt.kind or "")
+    raise TypeError(f"unknown statement type {type(stmt)!r}")
+
+
+def fingerprint_function(hasher, func: "IRFunction") -> None:
+    """Feed one function's structural content into ``hasher``."""
+    args = ",".join(f"{t}:{n}" for t, n in func.args)
+    hasher.update(_token("fn", func.name, func.kind.value, args))
+    for stmt in func.body:
+        hasher.update(_statement_tokens(stmt))
+
+
+def structural_fingerprint(module: "Module") -> str:
+    """A stable content hash of a module, without pretty-printing it.
+
+    Covers exactly what :func:`repro.ir.printer.print_module` serialises:
+    the name, constants, memory/stream objects, port declarations and
+    every function (kind, arguments, body statements in order).
+    """
+    hasher = hashlib.sha256(_FINGERPRINT_VERSION)
+    hasher.update(_token("mod", module.name, module.main))
+    for cname in sorted(module.constants):
+        hasher.update(_token("const", cname, module.constants[cname]))
+    for obj in module.memory_objects.values():
+        hasher.update(
+            _token("mem", obj.name, obj.element_type, obj.size, obj.addr_space,
+                   obj.label or "")
+        )
+    for obj in module.stream_objects.values():
+        hasher.update(
+            _token("stream", obj.name, obj.memory, obj.direction.value,
+                   obj.pattern.value, obj.stride)
+        )
+    for port in module.port_declarations:
+        hasher.update(
+            _token("port", port.function, port.port, port.element_type,
+                   port.direction.value, port.pattern.value, port.base_offset,
+                   port.stream_object or "", port.addr_space)
+        )
+    for func in module.functions.values():
+        fingerprint_function(hasher, func)
+    return hasher.hexdigest()

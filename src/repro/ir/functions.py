@@ -242,27 +242,58 @@ class Module:
     main: str = "main"
 
     # -- construction ---------------------------------------------------
+    def set_constant(self, name: str, value: int) -> None:
+        """Define (or redefine) a named module constant."""
+        self.constants[name] = int(value)
+        self.invalidate_fingerprint()
+
     def add_memory_object(self, obj: MemoryObject) -> MemoryObject:
         if obj.name in self.memory_objects:
             raise IRValidationError(f"duplicate memory object {obj.name!r}")
         self.memory_objects[obj.name] = obj
+        self.invalidate_fingerprint()
         return obj
 
     def add_stream_object(self, obj: StreamObject) -> StreamObject:
         if obj.name in self.stream_objects:
             raise IRValidationError(f"duplicate stream object {obj.name!r}")
         self.stream_objects[obj.name] = obj
+        self.invalidate_fingerprint()
         return obj
 
     def add_port_declaration(self, decl: PortDeclaration) -> PortDeclaration:
         self.port_declarations.append(decl)
+        self.invalidate_fingerprint()
         return decl
 
     def add_function(self, func: IRFunction) -> IRFunction:
         if func.name in self.functions:
             raise IRValidationError(f"duplicate function @{func.name}")
         self.functions[func.name] = func
+        self.invalidate_fingerprint()
         return func
+
+    # -- content identity ------------------------------------------------
+    def content_fingerprint(self) -> str:
+        """The structural content hash of this module, computed lazily.
+
+        The hash is cached on the instance so repeated memoization lookups
+        cost one attribute read instead of a pretty-print.  The module's
+        own mutation methods invalidate the cache; code that mutates the
+        module *directly* (e.g. replacing a function's body in place) must
+        call :meth:`invalidate_fingerprint` afterwards.
+        """
+        cached = self.__dict__.get("_content_fingerprint")
+        if cached is None:
+            from repro.ir.fingerprint import structural_fingerprint
+
+            cached = structural_fingerprint(self)
+            self.__dict__["_content_fingerprint"] = cached
+        return cached
+
+    def invalidate_fingerprint(self) -> None:
+        """Drop the cached content fingerprint after a mutation."""
+        self.__dict__.pop("_content_fingerprint", None)
 
     # -- queries --------------------------------------------------------
     def get_function(self, name: str) -> IRFunction:

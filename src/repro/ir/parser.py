@@ -227,7 +227,7 @@ def parse_module(text: str, name: str = "design") -> Module:
             continue
         m = _RE_CONST.match(line)
         if m:
-            module.constants[m.group("name")] = int(m.group("value"))
+            module.set_constant(m.group("name"), int(m.group("value")))
             continue
         m = _RE_MEMOBJ.match(line)
         if m:

@@ -141,6 +141,15 @@ class SuiteRun:
     def variants_per_second(self) -> float:
         return self.sweep.variants_per_second
 
+    @property
+    def stats(self) -> dict:
+        """Aggregated pipeline cache/timing statistics of the batch.
+
+        Lives outside the canonical report on purpose: hit rates and wall
+        times are facts about one run, not about the cost model.
+        """
+        return self.sweep.stats
+
 
 class WorkloadSuite:
     """Enumerate kernel x device x form x lane grids and cost them in batch."""

@@ -7,6 +7,15 @@ import pytest
 from repro.ir import IRBuilder, ScalarType
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_disk_cache(tmp_path_factory):
+    """Point the persistent warm-start store at a per-session tmp dir."""
+    from repro.cost.cache import redirected_cache_dir
+
+    with redirected_cache_dir(tmp_path_factory.mktemp("tybec-cache")):
+        yield
+
+
 @pytest.fixture
 def ui18():
     return ScalarType.uint(18)

@@ -1,0 +1,166 @@
+"""Tests for the persistent warm-start store and the bounded LRU caches."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+from repro.cost.cache import (
+    SCHEMA_VERSION,
+    BoundedCache,
+    DiskCache,
+    cache_location,
+    default_disk_cache,
+)
+
+
+class TestBoundedCache:
+    def test_lru_eviction_with_counters(self):
+        cache = BoundedCache(maxsize=2, name="t")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1      # refresh "a" — "b" is now oldest
+        cache.put("c", 3)               # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        info = cache.info()
+        assert info["evictions"] == 1
+        assert info["hits"] == 3
+        assert info["misses"] == 1
+        assert info["size"] == info["capacity"] == 2
+
+    def test_clear(self):
+        cache = BoundedCache(maxsize=4)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+
+class TestDiskCache:
+    def test_roundtrip(self, tmp_path):
+        cache = DiskCache(tmp_path, capacity=8)
+        token = ("calibration", "device-x", 0.025)
+        cache.put("calibration", token, {"alut": [1.0, 2.0]})
+        assert cache.get("calibration", token) == {"alut": [1.0, 2.0]}
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss_on_absent_and_corrupt_entries(self, tmp_path):
+        cache = DiskCache(tmp_path, capacity=8)
+        assert cache.get("ns", "missing") is None
+        cache.put("ns", "key", 42)
+        path = cache._entry_path("ns", "key")
+        path.write_bytes(b"definitely not a pickle")
+        assert cache.get("ns", "key") is None
+        assert not path.exists()        # corrupt entries are dropped
+
+    def test_token_mismatch_is_a_miss(self, tmp_path):
+        """A hash collision (or tampered file) must never alias keys."""
+        cache = DiskCache(tmp_path, capacity=8)
+        cache.put("ns", "key", "value")
+        path = cache._entry_path("ns", "key")
+        path.write_bytes(pickle.dumps({"token": repr("other"), "value": "evil"}))
+        assert cache.get("ns", "key") is None
+
+    def test_lru_eviction_by_capacity(self, tmp_path):
+        cache = DiskCache(tmp_path, capacity=3)
+        cache.EVICTION_STRIDE = 1   # scan on every put for the test
+        for i in range(6):
+            cache.put("ns", f"k{i}", i)
+            os.utime(cache._entry_path("ns", f"k{i}"), (i, i))
+        files = list((cache.version_dir / "ns").glob("*.pkl"))
+        assert len(files) <= 3
+        assert cache.evictions >= 3
+
+    def test_eviction_scan_is_amortized(self, tmp_path):
+        """Occupancy may overshoot capacity by at most one stride."""
+        cache = DiskCache(tmp_path, capacity=2)
+        for i in range(cache.EVICTION_STRIDE):
+            cache.put("ns", f"k{i}", i)
+        files = list((cache.version_dir / "ns").glob("*.pkl"))
+        assert len(files) <= 2 + cache.EVICTION_STRIDE
+        assert cache.evictions > 0  # the stride boundary triggered a scan
+
+    def test_clear_and_stats(self, tmp_path):
+        cache = DiskCache(tmp_path, capacity=8)
+        cache.put("a", "k", 1)
+        cache.put("b", "k", 2)
+        stats = cache.stats()
+        assert stats["schema_version"] == SCHEMA_VERSION
+        assert set(stats["namespaces"]) == {"a", "b"}
+        assert all(ns["entries"] == 1 for ns in stats["namespaces"].values())
+        assert cache.clear() == 2
+        assert cache.stats()["namespaces"] == {}
+
+    def test_concurrent_writer_safety_shape(self, tmp_path):
+        """Writes go through a temp file + atomic rename in the same dir."""
+        cache = DiskCache(tmp_path, capacity=8)
+        cache.put("ns", "key", "v1")
+        cache.put("ns", "key", "v2")    # overwrite races resolve to a winner
+        assert cache.get("ns", "key") == "v2"
+        leftovers = list((cache.version_dir / "ns").glob("*.tmp"))
+        assert leftovers == []
+
+
+class TestEnvironmentControl:
+    def test_disabled_by_empty_dir(self, monkeypatch):
+        monkeypatch.setenv("TYBEC_CACHE_DIR", "")
+        assert cache_location() is None
+        assert default_disk_cache() is None
+
+    def test_disabled_by_off(self, monkeypatch):
+        monkeypatch.setenv("TYBEC_CACHE_DIR", "off")
+        assert default_disk_cache() is None
+
+    def test_shared_instance_per_path(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("TYBEC_CACHE_DIR", str(tmp_path))
+        assert default_disk_cache() is default_disk_cache()
+
+
+class TestWarmStartIntegration:
+    def test_new_process_simulation_loads_calibration_from_disk(
+        self, tmp_path, monkeypatch
+    ):
+        """clear in-memory caches + warm disk == a fresh process starting warm."""
+        from repro.compiler import CompilationOptions, EstimationPipeline
+        from repro.compiler.pipeline import clear_calibration_cache
+        from repro.substrate import SMALL_EDU_DEVICE
+
+        monkeypatch.setenv("TYBEC_CACHE_DIR", str(tmp_path / "cache"))
+        clear_calibration_cache()
+        first = EstimationPipeline(CompilationOptions(device=SMALL_EDU_DEVICE))
+        first.calibrate()
+        assert first.stats.calibration_misses == 1
+
+        clear_calibration_cache()   # "new process": memory cold, disk warm
+        second = EstimationPipeline(CompilationOptions(device=SMALL_EDU_DEVICE))
+        second.calibrate()
+        assert second.stats.disk_hits == 3          # cost db + dram + host
+        assert second.stats.calibration_misses == 0  # nothing recomputed
+        assert second.cost_db.as_dict() == first.cost_db.as_dict()
+
+        clear_calibration_cache()
+
+    def test_pipeline_results_identical_with_and_without_persistence(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.compiler import CompilationOptions, EstimationPipeline
+        from repro.compiler.pipeline import clear_calibration_cache
+        from repro.explore import canonical_report_dict
+        from repro.kernels import get_kernel
+
+        kernel = get_kernel("sor")
+        workload = kernel.workload((8, 8, 8), iterations=10)
+        module = kernel.build_module(lanes=2, grid=(8, 8, 8))
+
+        monkeypatch.setenv("TYBEC_CACHE_DIR", str(tmp_path / "cache"))
+        clear_calibration_cache()
+        with_disk = EstimationPipeline(CompilationOptions()).cost(module, workload)
+
+        monkeypatch.setenv("TYBEC_CACHE_DIR", "off")
+        clear_calibration_cache()
+        without_disk = EstimationPipeline(CompilationOptions()).cost(module, workload)
+        assert canonical_report_dict(with_disk) == canonical_report_dict(without_disk)
+
+        clear_calibration_cache()

@@ -148,6 +148,25 @@ class TestParallelBackend:
     def test_empty_batch(self):
         assert ProcessPoolBackend(max_workers=2).run([]) == []
 
+    def test_workers_never_recalibrate(self):
+        """Satellite fix: calibration artifacts ship inside the payload, so
+        pool workers pay zero cold-start calibration for devices the
+        parent already resolved."""
+        backend = ProcessPoolBackend(max_workers=2)
+        engine = ExplorationEngine(backend)
+        engine.explore(make_space(max_lanes=4))
+        stats = backend.collect_stats()
+        hits, misses = stats["calibration"]
+        assert misses == 0
+        assert hits > 0
+
+    def test_pool_sweep_reports_aggregated_stats(self):
+        backend = ProcessPoolBackend(max_workers=2)
+        sweep = ExplorationEngine(backend).cost_many(build_jobs(make_space()))
+        assert sweep.stats  # shipped back across the pickle boundary
+        assert "stage_seconds" in sweep.stats
+        assert sum(sweep.stats["variant"]) == sweep.evaluated
+
 
 class TestOptionsFidelity:
     def test_exhaustive_search_honours_compiler_options(self):

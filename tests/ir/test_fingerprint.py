@@ -1,0 +1,72 @@
+"""Tests for the structural content fingerprint cached on modules."""
+
+from __future__ import annotations
+
+from repro.ir import IRBuilder, ScalarType, parse_module, print_module
+from repro.ir.fingerprint import structural_fingerprint
+
+
+def _module(name="m", width=18, constant=3):
+    ty = ScalarType.uint(width)
+    b = IRBuilder(name)
+    b.constant("C1", constant)
+    b.memory_object("mobj_x", ty, size=64, addr_space=1, label="x")
+    b.stream_object("strobj_x0", "mobj_x", direction="istream")
+    f = b.function("f0", kind="pipe", args=[(ty, "x")])
+    t = f.mul(ty, "x", 3)
+    f.instr("add", ty, t, "x", result="y")
+    b.port("f0", "x", ty, direction="istream", stream_object="strobj_x0")
+    main = b.function("main", kind="none")
+    main.call("f0", ["x"], kind="pipe")
+    return b.build()
+
+
+class TestFingerprintEquality:
+    def test_identical_builds_share_a_fingerprint(self):
+        assert _module().content_fingerprint() == _module().content_fingerprint()
+
+    def test_distinguishes_what_the_printer_distinguishes(self):
+        base = _module()
+        assert base.content_fingerprint() != _module(name="other").content_fingerprint()
+        assert base.content_fingerprint() != _module(width=32).content_fingerprint()
+        assert base.content_fingerprint() != _module(constant=4).content_fingerprint()
+
+    def test_roundtrip_through_printer_preserves_fingerprint(self):
+        module = _module()
+        reparsed = parse_module(print_module(module), name=module.name)
+        assert reparsed.content_fingerprint() == module.content_fingerprint()
+
+
+class TestFingerprintCaching:
+    def test_cached_on_instance(self):
+        module = _module()
+        first = module.content_fingerprint()
+        assert module.__dict__["_content_fingerprint"] == first
+        assert module.content_fingerprint() is first  # attribute read, no rehash
+
+    def test_mutation_invalidates(self):
+        module = _module()
+        before = module.content_fingerprint()
+        ty = ScalarType.uint(18)
+        extra = IRBuilder("scratch").function("g0", kind="pipe", args=[(ty, "x")])
+        extra.add(ty, "x", 1)
+        module.add_function(extra.function)
+        after = module.content_fingerprint()
+        assert after != before
+        assert structural_fingerprint(module) == after
+
+    def test_constant_redefinition_invalidates(self):
+        """Regression: builder/parser constants go through set_constant."""
+        module = _module()
+        before = module.content_fingerprint()
+        module.set_constant("C1", 99)
+        assert module.content_fingerprint() != before
+
+    def test_manual_invalidation_hook(self):
+        module = _module()
+        module.content_fingerprint()
+        # direct surgery on a function body bypasses the add_* hooks …
+        module.functions["f0"].body.pop()
+        # … so callers must invalidate; the hook restores correctness
+        module.invalidate_fingerprint()
+        assert module.content_fingerprint() == structural_fingerprint(module)
