@@ -8,7 +8,7 @@ This package reproduces, in pure Python, the system described in
 Layering (lower layers never import higher ones)::
 
     ir <- models <- substrate <- cost <- compiler <- functional <- kernels
-       <- explore <- suite <- cli
+       <- explore <- suite <- validate <- cli
 
 Sub-packages
 ------------
@@ -43,6 +43,10 @@ Sub-packages
     The workload suite: batch costing of every registered kernel,
     canonical version-stamped JSON reports, field-by-field diffing and
     the golden-report regression harness.
+``repro.validate``
+    Cross-validation of the analytic cost model against the substrate
+    simulators: per-point agreement records, suite-level validation
+    reports with their own goldens, surfaced as ``tybec suite validate``.
 """
 
 __version__ = "0.1.0"

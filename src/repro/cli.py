@@ -25,12 +25,16 @@ Sub-commands mirror the flows of the paper:
     Run the Figure-10 sustained-bandwidth benchmark on the memory
     simulator.
 
-``tybec suite run|diff|record-golden``
+``tybec suite run|validate|diff|record-golden``
     The workload suite: cost every registered kernel across a
     kernel x device x form x lane grid and emit a canonical JSON report
-    (``run``), compare two reports field by field (``diff``, non-zero
-    exit on any difference), or regenerate the checked-in golden reports
-    after an intentional cost-model change (``record-golden``).
+    (``run``), cross-validate every costed point against the
+    cycle-accurate substrate simulators and exit non-zero on disagreement
+    (``validate``, with ``--tolerance`` / ``--no-cycle-accurate``),
+    compare two reports field by field (``diff``, non-zero exit on any
+    difference), or regenerate the checked-in golden reports after an
+    intentional model change (``record-golden``, ``--validation`` for
+    the cross-validation goldens).
 
 ``tybec cache stats|clear|warm``
     The persistent warm-start store (``TYBEC_CACHE_DIR``, default
@@ -126,35 +130,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     suite_sub = suite.add_subparsers(dest="suite_command", required=True)
 
+    def _add_suite_sweep_args(parser: argparse.ArgumentParser) -> None:
+        """The sweep-grid arguments shared by ``suite run`` and ``suite
+        validate`` (one grid definition, two consumers)."""
+        parser.add_argument("--kernels", nargs="+", default=None,
+                            metavar="KERNEL",
+                            help="kernels to cost (default: every registered kernel)")
+        parser.add_argument("--devices", nargs="+", default=["stratix-v"],
+                            help="device axis of the sweep")
+        parser.add_argument("--lanes", type=int, nargs="+", default=None,
+                            help="explicit lane counts (default: divisors up to --max-lanes)")
+        parser.add_argument("--max-lanes", type=int, default=4)
+        parser.add_argument("--forms", nargs="+", default=["auto"],
+                            choices=["auto", "A", "B", "C"],
+                            help="memory-execution form axis")
+        parser.add_argument("--patterns", nargs="+", default=["contiguous"],
+                            choices=[p.value for p in PatternKind],
+                            help="access-pattern axis")
+        parser.add_argument("--clocks", type=float, nargs="+", default=None,
+                            metavar="MHZ", help="clock axis (device fmax when omitted)")
+        parser.add_argument("--iterations", type=int, default=None,
+                            help="override every kernel's iteration count")
+        parser.add_argument("--tiny", action="store_true",
+                            help="smoke-test grids (each dimension capped at 8, "
+                                 "10 iterations) — the golden configuration")
+        parser.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                            help="cost the batch on N worker processes")
+        parser.add_argument("-o", "--output", type=Path, default=None,
+                            help="write the canonical JSON report to a file")
+        parser.add_argument("--json", action="store_true",
+                            help="print the canonical JSON report to stdout")
+
     suite_run = suite_sub.add_parser(
         "run", help="cost the suite and emit a canonical JSON report")
-    suite_run.add_argument("--kernels", nargs="+", default=None,
-                           metavar="KERNEL",
-                           help="kernels to cost (default: every registered kernel)")
-    suite_run.add_argument("--devices", nargs="+", default=["stratix-v"],
-                           help="device axis of the sweep")
-    suite_run.add_argument("--lanes", type=int, nargs="+", default=None,
-                           help="explicit lane counts (default: divisors up to --max-lanes)")
-    suite_run.add_argument("--max-lanes", type=int, default=4)
-    suite_run.add_argument("--forms", nargs="+", default=["auto"],
-                           choices=["auto", "A", "B", "C"],
-                           help="memory-execution form axis")
-    suite_run.add_argument("--patterns", nargs="+", default=["contiguous"],
-                           choices=[p.value for p in PatternKind],
-                           help="access-pattern axis")
-    suite_run.add_argument("--clocks", type=float, nargs="+", default=None,
-                           metavar="MHZ", help="clock axis (device fmax when omitted)")
-    suite_run.add_argument("--iterations", type=int, default=None,
-                           help="override every kernel's iteration count")
-    suite_run.add_argument("--tiny", action="store_true",
-                           help="smoke-test grids (each dimension capped at 8, "
-                                "10 iterations) — the golden configuration")
-    suite_run.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
-                           help="cost the batch on N worker processes")
-    suite_run.add_argument("-o", "--output", type=Path, default=None,
-                           help="write the canonical JSON report to a file")
-    suite_run.add_argument("--json", action="store_true",
-                           help="print the canonical JSON report to stdout")
+    _add_suite_sweep_args(suite_run)
+
+    suite_validate = suite_sub.add_parser(
+        "validate",
+        help="cross-validate the analytic estimates against the "
+             "cycle-accurate substrate simulators (exit 1 on disagreement)",
+        description="Cost a suite grid, then drive every design point "
+                    "through the pipeline simulator (analytic and "
+                    "cycle-stepping mode) and the memory-system simulator, "
+                    "and report per-point agreement as a canonical JSON "
+                    "validation report.",
+    )
+    _add_suite_sweep_args(suite_validate)
+    suite_validate.add_argument("--tolerance", type=float, default=None,
+                                metavar="REL",
+                                help="relative tolerance on the device-side "
+                                     "seconds agreement (default: 0.05)")
+    suite_validate.add_argument("--memory-tolerance", type=float, default=None,
+                                metavar="REL",
+                                help="relative tolerance on the memory-leg "
+                                     "fit-vs-simulator agreement (default: 0.5)")
+    suite_validate.add_argument("--cycle-accurate", dest="cycle_accurate",
+                                action="store_true", default=True,
+                                help="also run the cycle-stepping simulator "
+                                     "(the default)")
+    suite_validate.add_argument("--no-cycle-accurate", dest="cycle_accurate",
+                                action="store_false",
+                                help="skip the cycle-stepping pass "
+                                     "(analytic simulation only)")
 
     suite_diff = suite_sub.add_parser(
         "diff", help="compare two suite reports field by field "
@@ -171,8 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run the golden configuration and rewrite tests/golden/*.json "
              "(the git diff of those files documents an intentional model change)")
     suite_golden.add_argument("--dir", type=Path, default=None,
-                              help="goldens directory (default: tests/golden)")
+                              help="goldens directory (default: tests/golden, "
+                                   "or tests/golden/validation with --validation)")
     suite_golden.add_argument("--kernels", nargs="+", default=None, metavar="KERNEL")
+    suite_golden.add_argument("--validation", action="store_true",
+                              help="record the cross-validation goldens instead "
+                                   "of the suite-report goldens")
 
     cache = sub.add_parser(
         "cache",
@@ -423,6 +464,61 @@ def _print_stage_breakdown(run) -> None:
         print(f"cache hits: {'  '.join(counters)}{suffix}")
 
 
+def _cmd_suite_validate(args) -> int:
+    from repro.validate import DEFAULT_MEMORY_TOLERANCE, DEFAULT_TOLERANCE, validate_suite
+
+    tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    memory_tolerance = (args.memory_tolerance if args.memory_tolerance is not None
+                        else DEFAULT_MEMORY_TOLERANCE)
+    try:
+        config = _suite_config_from_args(args)
+        run = validate_suite(config, backend=_explore_backend(args),
+                             tolerance=tolerance,
+                             memory_tolerance=memory_tolerance,
+                             cycle_accurate=args.cycle_accurate,
+                             jobs=args.jobs)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.output:
+        run.report.write(args.output)
+        print(f"wrote validation report to {args.output}", file=sys.stderr)
+    if args.json:
+        print(run.report.to_json(), end="")
+        return 0 if run.ok else 1
+
+    header = (f"{'kernel':>8} {'lanes':>5} {'form':>4} {'est cycles':>12} "
+              f"{'analytic':>9} {'stepped':>9} {'gap':>4} {'rel err':>8} {'ok':>3}")
+    print(header)
+    print("-" * len(header))
+    for name, records in run.records.items():
+        for r in records:
+            stepped = str(r.stepped.cycles) if r.stepped is not None else "-"
+            gap = str(r.cycle_gap) if r.cycle_gap is not None else "-"
+            print(f"{name:>8} {r.point.lanes:>5} {r.form:>4} "
+                  f"{r.estimated_cycles:>12.1f} {r.analytic.cycles:>9} "
+                  f"{stepped:>9} {gap:>4} {r.seconds_relative_error:>8.4f} "
+                  f"{'y' if r.ok else 'N':>3}")
+    totals = run.report.totals
+    print(f"validated {totals['points']} design points across "
+          f"{totals['kernels']} kernels: {totals['agreeing']} agree, "
+          f"{totals['disagreeing']} disagree "
+          f"(tolerance {tolerance:g}, max error "
+          f"{totals['max_seconds_relative_error']:.4f}, max cycle gap "
+          f"{totals['max_cycle_gap']})")
+    if not run.ok:
+        for record in run.disagreements:
+            print(f"DISAGREEMENT at {record.point.label}: "
+                  f"rel err {record.seconds_relative_error:.4f}, "
+                  f"cycle gap {record.cycle_gap} (limit {record.pipeline_depth}), "
+                  f"limiting match {record.limiting_factor_match}, "
+                  f"memory legs "
+                  f"{ {l.name: round(l.relative_error, 4) for l in record.legs} }",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_suite_diff(args) -> int:
     from repro.suite import diff_payloads, format_diffs, load_report
 
@@ -432,17 +528,24 @@ def _cmd_suite_diff(args) -> int:
     except (OSError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if left.get("schema") != right.get("schema"):
+        print(f"cannot diff different report layouts: {left.get('schema')!r} "
+              f"vs {right.get('schema')!r}", file=sys.stderr)
+        return 2
     diffs = diff_payloads(left, right, rtol=args.rtol)
     print(format_diffs(diffs, limit=args.limit))
     return 1 if diffs else 0
 
 
 def _cmd_suite_record_golden(args) -> int:
-    from repro.suite import record_goldens
+    if args.validation:
+        from repro.validate import record_validation_goldens as _record
+    else:
+        from repro.suite import record_goldens as _record
 
     kernels = tuple(args.kernels) if args.kernels else ()
     try:
-        written = record_goldens(args.dir, kernels=kernels)
+        written = _record(args.dir, kernels=kernels)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -455,6 +558,7 @@ def _cmd_suite_record_golden(args) -> int:
 
 _SUITE_COMMANDS = {
     "run": _cmd_suite_run,
+    "validate": _cmd_suite_validate,
     "diff": _cmd_suite_diff,
     "record-golden": _cmd_suite_record_golden,
 }

@@ -230,6 +230,13 @@ class TimeBreakdown:
             + self.reconfiguration
         )
 
+    @property
+    def device_total(self) -> float:
+        """Device-side seconds: the kernel-instance time without the host
+        link or reconfiguration legs — what the pipeline simulator models
+        (offset priming, pipeline fill, steady-state streaming/compute)."""
+        return self.offset_fill + self.pipeline_fill + self.streaming_or_compute
+
     def as_dict(self) -> dict:
         return {
             "host_transfer_s": self.host_transfer,
@@ -265,6 +272,18 @@ class EKITEstimate:
     def cycles_per_kernel_instance(self) -> float:
         """CPKI implied by the estimate (device-cycle equivalent)."""
         return self.breakdown.total * self.parameters.fd_hz
+
+    @property
+    def device_seconds(self) -> float:
+        """The device-side (simulatable) share of the kernel-instance time."""
+        return self.breakdown.device_total
+
+    @property
+    def device_cycles(self) -> float:
+        """Device cycles implied by :attr:`device_seconds` — the quantity
+        the cross-validation subsystem checks against the pipeline
+        simulator's cycle counts."""
+        return self.breakdown.device_total * self.parameters.fd_hz
 
     @property
     def ewgt(self) -> float:

@@ -80,6 +80,21 @@ class DesignPoint:
             device=self.device, clock_mhz=self.clock_mhz, form=_form_value(self.form)
         )
 
+    def family_handle(self, kernel: ScientificKernel | None = None) -> LaneFamilyHandle:
+        """The lazy ``(kernel, lanes, grid)`` module recipe this point implies.
+
+        This is the exact recipe :func:`build_jobs` hands the estimation
+        pipeline, so a consumer reconstructing the point's compiled
+        artifacts (e.g. the cross-validation subsystem rebuilding its
+        :class:`~repro.substrate.pipeline_sim.PipelineSpec`) hits the same
+        family caches and derives bit-identical analysis products.
+        """
+        if kernel is None:
+            from repro.kernels import get_kernel
+
+            kernel = get_kernel(self.kernel)
+        return LaneFamilyHandle(kernel=kernel, lanes=self.lanes, grid=tuple(self.grid))
+
     def as_dict(self) -> dict:
         return {
             "kernel": self.kernel,
@@ -225,9 +240,7 @@ def build_jobs(space: DesignSpace, lazy: bool = True) -> list[CostJob]:
         module = modules.get(point.lanes)
         if module is None:
             if lazy:
-                module = LaneFamilyHandle(
-                    kernel=kernel, lanes=point.lanes, grid=tuple(space.grid)
-                )
+                module = point.family_handle(kernel)
             else:
                 module = kernel.build_module(lanes=point.lanes, grid=tuple(space.grid))
             modules[point.lanes] = module

@@ -92,6 +92,15 @@ class PCIeConfig:
 
     _PER_LANE_GBPS = {1: 0.25, 2: 0.5, 3: 0.985, 4: 1.969}
 
+    def __post_init__(self) -> None:
+        if self.gen not in self._PER_LANE_GBPS:
+            raise ValueError(
+                f"unsupported PCIe generation {self.gen!r}; supported "
+                f"generations: {sorted(self._PER_LANE_GBPS)}"
+            )
+        if self.lanes < 1:
+            raise ValueError(f"PCIe lanes must be >= 1, got {self.lanes}")
+
     @property
     def raw_gbps(self) -> float:
         return self._PER_LANE_GBPS[self.gen] * self.lanes

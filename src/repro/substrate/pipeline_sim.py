@@ -11,18 +11,72 @@ Two execution modes are provided:
 * an **analytic** mode that computes the cycle count in closed form — fast
   enough to sweep large NDRanges;
 * a **cycle-stepping** mode that advances a token-level model one cycle at
-  a time — used to cross-validate the analytic mode on small runs (the
-  two must agree within one pipeline depth).
+  a time — used to cross-validate the analytic mode on small runs.
+
+The two modes share one accounting scheme so they can be compared
+directly (see :mod:`repro.validate`):
+
+* ``fill_cycles`` is the offset-buffer priming time plus the pipeline
+  depth in both modes;
+* ``stall_cycles`` is the time beyond the no-stall baseline in both
+  modes: ``cycles - fill_cycles - ceil(items / ideal_items_per_cycle)``;
+* the cycle counts agree within one pipeline depth plus one issue
+  interval (a single cycle for the fully pipelined datapaths the
+  compiler schedules, ``cycles_per_instruction * instructions`` for a
+  time-multiplexed spec, whose bursty issue quantises the drain) plus a
+  few cycles of phase-boundary rounding
+  (:data:`CYCLE_AGREEMENT_SLACK`) — a property test enforces this
+  across lanes x offsets x memory rates x issue intervals, and the
+  cross-validation gate holds the six golden kernels to the strict
+  one-pipeline-depth bound.
+
+Offset priming may be driven at a different memory rate than the steady
+state (``fill_memory_gbps``): the EKIT cost model charges the offset fill
+at the sustained DRAM bandwidth in *every* memory-execution form, even
+form C where the steady state streams from on-chip memory.
 """
 
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
 
 from repro.substrate.memory_sim import MemorySystemSimulator
 
-__all__ = ["PipelineSpec", "SimulationResult", "PipelineSimulator"]
+__all__ = [
+    "CYCLE_AGREEMENT_SLACK",
+    "PipelineSpec",
+    "SimulationResult",
+    "SimulationDivergedError",
+    "PipelineSimulator",
+]
+
+#: cycles of phase-boundary rounding the two modes may legitimately differ
+#: by on top of one pipeline depth (priming/steady/drain each round once)
+CYCLE_AGREEMENT_SLACK = 4
+
+
+class SimulationDivergedError(RuntimeError):
+    """The cycle-stepping simulation exceeded its safety bound.
+
+    The bound is a generous multiple of the analytic-mode expectation, so
+    tripping it means the token-level model made no forward progress the
+    closed form predicts — a simulator bug or a mis-configured spec, never
+    a legitimate result.  The partially-stepped state is attached for
+    diagnosis instead of being returned as a silently-truncated (wrong)
+    cycle count.
+    """
+
+    def __init__(self, spec_name: str, cycles: int, retired: int, n_items: int):
+        super().__init__(
+            f"cycle-stepping simulation of {spec_name!r} diverged: "
+            f"{retired}/{n_items} items retired after {cycles} cycles"
+        )
+        self.spec_name = spec_name
+        self.cycles = cycles
+        self.retired = retired
+        self.n_items = n_items
 
 
 @dataclass(frozen=True)
@@ -81,13 +135,20 @@ class PipelineSpec:
         return self.input_words_per_item + self.output_words_per_item
 
     @property
+    def issue_interval_cycles(self) -> int:
+        """Cycles between issue events: 1 for a fully pipelined datapath,
+        ``NI * NTO`` when functional units are time-multiplexed."""
+        if self.cycles_per_instruction == 1:
+            return 1
+        return self.cycles_per_instruction * max(1, self.instructions)
+
+    @property
     def ideal_items_per_cycle(self) -> float:
         """Work-items retired per cycle with no memory stalls."""
-        issue_interval = max(1, self.cycles_per_instruction)
-        if issue_interval == 1:
+        if self.issue_interval_cycles == 1:
             return float(self.lanes * self.vectorization)
         # time-multiplexed functional units: one item per NI*NTO cycles per lane
-        return self.lanes * self.vectorization / (issue_interval * max(1, self.instructions))
+        return self.lanes * self.vectorization / self.issue_interval_cycles
 
     @property
     def clock_hz(self) -> float:
@@ -150,24 +211,49 @@ class PipelineSimulator:
         n_items: int,
         memory_gbps: float | None = None,
         *,
+        fill_memory_gbps: float | None = None,
         cycle_accurate: bool = False,
+        max_cycles: int | None = None,
     ) -> SimulationResult:
-        """Execute one kernel instance of ``n_items`` work-items."""
+        """Execute one kernel instance of ``n_items`` work-items.
+
+        ``memory_gbps`` bounds the steady-state stream rate (``math.inf``
+        for data resident on chip); ``fill_memory_gbps`` bounds the
+        offset-buffer priming rate separately and defaults to the
+        steady-state rate.  ``max_cycles`` overrides the cycle-stepping
+        safety bound (for tests); when the bound trips, the stepping mode
+        raises :class:`SimulationDivergedError` instead of returning a
+        truncated cycle count.
+        """
         if n_items <= 0:
             raise ValueError("n_items must be positive")
+        for name, value in (("memory_gbps", memory_gbps),
+                            ("fill_memory_gbps", fill_memory_gbps)):
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
         if cycle_accurate:
-            return self._run_cycle_accurate(spec, n_items, memory_gbps)
-        return self._run_analytic(spec, n_items, memory_gbps)
+            return self._run_cycle_accurate(spec, n_items, memory_gbps,
+                                            fill_memory_gbps, max_cycles)
+        return self._run_analytic(spec, n_items, memory_gbps, fill_memory_gbps)
 
     # -- analytic mode ----------------------------------------------------
     def _run_analytic(
-        self, spec: PipelineSpec, n_items: int, memory_gbps: float | None
+        self,
+        spec: PipelineSpec,
+        n_items: int,
+        memory_gbps: float | None,
+        fill_memory_gbps: float | None = None,
     ) -> SimulationResult:
         words_per_cycle = self._memory_words_per_cycle(spec, memory_gbps)
+        fill_words_per_cycle = (
+            words_per_cycle
+            if fill_memory_gbps is None
+            else self._memory_words_per_cycle(spec, fill_memory_gbps)
+        )
 
-        # 1. prime the offset buffers
+        # 1. prime the offset buffers (ingest capped at one word per lane)
         if spec.offset_fill_words > 0:
-            fill_rate = min(words_per_cycle, float(spec.lanes * spec.vectorization))
+            fill_rate = min(fill_words_per_cycle, float(spec.lanes * spec.vectorization))
             fill_cycles = math.ceil(spec.offset_fill_words / max(fill_rate, 1e-12))
         else:
             fill_cycles = 0
@@ -183,7 +269,9 @@ class PipelineSimulator:
         ideal_cycles = math.ceil(n_items / compute_rate)
 
         total = fill_cycles + steady_cycles
-        stalls = steady_cycles - ideal_cycles
+        # stall accounting shared with the stepping mode: cycles beyond the
+        # no-stall baseline of fill + ideal steady state
+        stalls = total - fill_cycles - ideal_cycles
         seconds = total / spec.clock_hz
         return SimulationResult(
             spec_name=spec.name,
@@ -199,42 +287,74 @@ class PipelineSimulator:
 
     # -- cycle-stepping mode ------------------------------------------------
     def _run_cycle_accurate(
-        self, spec: PipelineSpec, n_items: int, memory_gbps: float | None
+        self,
+        spec: PipelineSpec,
+        n_items: int,
+        memory_gbps: float | None,
+        fill_memory_gbps: float | None = None,
+        max_cycles: int | None = None,
     ) -> SimulationResult:
         words_per_cycle = self._memory_words_per_cycle(spec, memory_gbps)
-        issue_interval = (
-            1
-            if spec.cycles_per_instruction == 1
-            else spec.cycles_per_instruction * max(1, spec.instructions)
+        fill_words_per_cycle = (
+            words_per_cycle
+            if fill_memory_gbps is None
+            else self._memory_words_per_cycle(spec, fill_memory_gbps)
         )
+        issue_interval = spec.issue_interval_cycles
         lanes = spec.lanes * spec.vectorization
+        # the stream FIFO between the memory interface and the ingest ports
+        # holds one issue interval's worth of consumption plus one issue
+        # interval's worth of delivery headroom: an unbounded credit bank
+        # would let the memory run arbitrarily far ahead of the pipeline,
+        # while a smaller FIFO would drop deliveries that arrive while a
+        # (bursty, time-multiplexed) consumer sits between issue events —
+        # either breaks the agreement with the analytic mode
+        consume_per_event = float(max(lanes * spec.words_per_item, lanes))
+        fill_credit_cap = lanes + min(fill_words_per_cycle, float(lanes))
+        steady_credit_cap = consume_per_event + min(
+            words_per_cycle * issue_interval, consume_per_event
+        )
+
+        if max_cycles is None:
+            # safety bound: a generous multiple of the analytic expectation,
+            # so it can only trip on genuine non-progress (never on a slow
+            # but well-formed configuration)
+            expected = self._run_analytic(spec, n_items, memory_gbps, fill_memory_gbps)
+            max_cycles = 10 * expected.cycles + 1000
 
         cycles = 0
-        stalls = 0
         word_credit = 0.0
-        buffered_words = 0
+        buffered_words = 0.0
         issued = 0
         retired = 0
         fill_cycles = 0
         # each in-flight item retires pipeline_depth cycles after issue
-        retire_queue: list[int] = []
+        retire_queue: deque[int] = deque()
         offset_target = spec.offset_fill_words
         next_issue_cycle = 0
+        priming = buffered_words < offset_target
 
-        # hard safety bound so a mis-configured spec cannot loop forever
-        max_cycles = 1000 * (n_items + spec.pipeline_depth + offset_target + 1)
-
-        while retired < n_items and cycles < max_cycles:
-            word_credit += words_per_cycle
+        while retired < n_items:
+            if cycles >= max_cycles:
+                raise SimulationDivergedError(spec.name, cycles, retired, n_items)
 
             # priming phase: fill offset buffers before the first issue
-            if buffered_words < offset_target:
+            # (ingest capped at one word per lane, as in the analytic mode)
+            if priming:
+                word_credit = min(word_credit + fill_words_per_cycle, fill_credit_cap)
                 take = min(word_credit, offset_target - buffered_words, float(lanes))
                 buffered_words += take
                 word_credit -= take
                 cycles += 1
                 fill_cycles += 1
+                if buffered_words >= offset_target:
+                    # the prefetcher does not run ahead of priming: leftover
+                    # credit is discarded at the phase boundary
+                    priming = False
+                    word_credit = 0.0
                 continue
+
+            word_credit = min(word_credit + words_per_cycle, steady_credit_cap)
 
             # issue up to `lanes` items this cycle, each consuming its words
             issued_this_cycle = 0
@@ -251,11 +371,8 @@ class PipelineSimulator:
             if issue_interval > 1 and issued_this_cycle:
                 next_issue_cycle = cycles + issue_interval
 
-            if issued_this_cycle == 0 and issued < n_items and cycles >= next_issue_cycle:
-                stalls += 1
-
             while retire_queue and retire_queue[0] <= cycles:
-                retire_queue.pop(0)
+                retire_queue.popleft()
                 retired += 1
 
             cycles += 1
@@ -265,13 +382,16 @@ class PipelineSimulator:
         memory_rate = (
             words_per_cycle / spec.words_per_item if spec.words_per_item else math.inf
         )
+        # fill/stall accounting shared with the analytic mode
+        fill_total = fill_cycles + spec.pipeline_depth
+        stalls = cycles - fill_total - math.ceil(n_items / compute_rate)
         return SimulationResult(
             spec_name=spec.name,
             items=n_items,
             cycles=cycles,
             seconds=seconds,
-            stall_cycles=stalls,
-            fill_cycles=fill_cycles + spec.pipeline_depth,
+            stall_cycles=max(0, stalls),
+            fill_cycles=fill_total,
             items_per_cycle=n_items / cycles,
             cycles_per_item=cycles / n_items,
             limited_by="memory" if memory_rate < compute_rate else "compute",
@@ -285,8 +405,17 @@ class PipelineSimulator:
         repetitions: int,
         memory_gbps: float | None = None,
         per_instance_overhead_s: float = 0.0,
+        *,
+        fill_memory_gbps: float | None = None,
+        cycle_accurate: bool = False,
     ) -> tuple[float, SimulationResult]:
         """Run ``repetitions`` kernel instances and return (total seconds, one result)."""
-        result = self.run_kernel_instance(spec, n_items, memory_gbps)
+        result = self.run_kernel_instance(
+            spec,
+            n_items,
+            memory_gbps,
+            fill_memory_gbps=fill_memory_gbps,
+            cycle_accurate=cycle_accurate,
+        )
         total = repetitions * (result.seconds + per_instance_overhead_s)
         return total, result

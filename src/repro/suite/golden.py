@@ -20,7 +20,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.suite.diff import FieldDiff, diff_payloads
-from repro.suite.report import SuiteReport, canonical_json, load_report
+from repro.suite.report import SCHEMA, SuiteReport, canonical_json, load_report
 from repro.suite.runner import SuiteConfig, WorkloadSuite
 
 __all__ = [
@@ -89,6 +89,6 @@ def check_goldens(directory: Path | str | None = None,
                                        left="golden file missing — run "
                                             "`suite record-golden`")]
             continue
-        golden = load_report(path)
+        golden = load_report(path, expected_schema=SCHEMA)
         results[name] = diff_payloads(golden, report.kernel_payload(name), rtol=rtol)
     return results

@@ -25,6 +25,8 @@ from pathlib import Path
 
 __all__ = [
     "SCHEMA",
+    "VALIDATION_SCHEMA",
+    "KNOWN_SCHEMAS",
     "FLOAT_SIGNIFICANT_DIGITS",
     "canonicalize",
     "canonical_json",
@@ -34,6 +36,12 @@ __all__ = [
 
 #: schema stamp of the suite-report JSON layout
 SCHEMA = "repro-suite-report/1"
+
+#: schema stamp of the cross-validation report layout (see :mod:`repro.validate`)
+VALIDATION_SCHEMA = "repro-validation-report/1"
+
+#: every canonical-report layout this codebase knows how to load and diff
+KNOWN_SCHEMAS = (SCHEMA, VALIDATION_SCHEMA)
 
 #: significant digits kept for floats in canonical payloads
 FLOAT_SIGNIFICANT_DIGITS = 9
@@ -116,13 +124,21 @@ class SuiteReport:
         return path
 
 
-def load_report(path: Path | str) -> dict:
-    """Load a suite-report payload, checking the schema stamp."""
+def load_report(path: Path | str, expected_schema: str | None = None) -> dict:
+    """Load a canonical-report payload, checking the schema stamp.
+
+    ``expected_schema`` pins one layout (e.g. the golden harnesses, which
+    know exactly what they recorded); by default any known layout loads,
+    which is what ``suite diff`` wants — it compares two reports of the
+    *same* layout, whichever that is.
+    """
     payload = json.loads(Path(path).read_text())
     if not isinstance(payload, dict) or "schema" not in payload:
         raise ValueError(f"{path}: not a suite report (no schema stamp)")
-    if payload["schema"] != SCHEMA:
+    accepted = KNOWN_SCHEMAS if expected_schema is None else (expected_schema,)
+    if payload["schema"] not in accepted:
         raise ValueError(
-            f"{path}: schema {payload['schema']!r} is not the supported {SCHEMA!r}"
+            f"{path}: schema {payload['schema']!r} is not one of the "
+            f"supported {', '.join(repr(s) for s in accepted)}"
         )
     return payload

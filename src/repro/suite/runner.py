@@ -173,8 +173,25 @@ class WorkloadSuite:
     def total_points(self) -> int:
         return sum(len(space) for space in self.spaces().values())
 
+    @staticmethod
+    def kernel_entries(spaces: dict[str, DesignSpace], sweep: SweepResult):
+        """Per-kernel slices of a sweep over ``spaces``, in sweep order.
+
+        The engine flattens the per-kernel job batches into one sweep;
+        this is the inverse — shared by the suite report builder and the
+        cross-validation subsystem so both agree on which entries belong
+        to which kernel.
+        """
+        slices: dict[str, list] = {}
+        cursor = 0
+        for name, space in spaces.items():
+            count = len(space)
+            slices[name] = sweep.entries[cursor : cursor + count]
+            cursor += count
+        return slices
+
     # ------------------------------------------------------------------
-    def run(self) -> SuiteRun:
+    def sweep(self) -> tuple[dict[str, DesignSpace], SweepResult]:
         """Cost every point of every kernel in one engine batch."""
         spaces = self.spaces()
         jobs = self.jobs(spaces)
@@ -183,15 +200,16 @@ class WorkloadSuite:
                 "suite has no design points (no valid lane counts for the "
                 "configured grids?)"
             )
-        sweep = self.engine.cost_many(jobs)
+        return spaces, self.engine.cost_many(jobs)
+
+    def run(self) -> SuiteRun:
+        """Cost the whole suite and fold it into the canonical report."""
+        spaces, sweep = self.sweep()
 
         kernels: dict[str, dict] = {}
-        cursor = 0
         feasible_total = 0
-        for name, space in spaces.items():
-            count = len(space)
-            entries = sweep.entries[cursor : cursor + count]
-            cursor += count
+        for name, entries in self.kernel_entries(spaces, sweep).items():
+            count = len(entries)
             workload = self.config.workload_for(name)
             best = None
             feasible = [e for e in entries if e.report.feasible]
@@ -213,7 +231,7 @@ class WorkloadSuite:
             "kernels": kernels,
             "totals": {
                 "kernels": len(kernels),
-                "points": len(jobs),
+                "points": sweep.evaluated,
                 "feasible": feasible_total,
             },
         }

@@ -1,0 +1,52 @@
+"""Cross-validation of the analytic cost model against the substrate.
+
+The estimation flow (``repro.compiler`` + ``repro.cost``) and the
+cycle-accurate substrate simulators (``repro.substrate``) model the same
+hardware from opposite directions; this package is the third leg of the
+architecture — estimate / accelerate / **validate** — that drives every
+costed design point through both and reports per-point agreement:
+
+``crossval``
+    :class:`CrossValidator` — one costed point in, one
+    :class:`ValidationRecord` out (estimated vs simulated cycles/seconds,
+    relative error, limiting-factor agreement, within-tolerance verdict).
+``suite``
+    :func:`validate_suite` — fan a whole suite grid through the engine
+    and the validator; canonical version-stamped
+    :class:`ValidationReport` with its own golden + diff support,
+    surfaced as ``tybec suite validate`` on the CLI and gated in CI.
+"""
+
+from repro.validate.crossval import (
+    DEFAULT_MEMORY_TOLERANCE,
+    DEFAULT_TOLERANCE,
+    CrossValidator,
+    LegComparison,
+    ValidationRecord,
+)
+from repro.validate.suite import (
+    VALIDATION_SCHEMA,
+    ValidationReport,
+    ValidationRun,
+    check_validation_goldens,
+    record_validation_goldens,
+    run_golden_validation,
+    validate_suite,
+    validation_golden_dir,
+)
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_MEMORY_TOLERANCE",
+    "CrossValidator",
+    "LegComparison",
+    "ValidationRecord",
+    "VALIDATION_SCHEMA",
+    "ValidationReport",
+    "ValidationRun",
+    "validate_suite",
+    "validation_golden_dir",
+    "run_golden_validation",
+    "record_validation_goldens",
+    "check_validation_goldens",
+]

@@ -1,0 +1,254 @@
+"""Suite-level cross-validation: the golden grid against the simulators.
+
+:func:`validate_suite` fans a :class:`~repro.suite.runner.SuiteConfig`
+grid through the exploration engine (serial or process-pool — the
+resulting validation reports are byte-identical either way), drives every
+costed point through the :class:`~repro.validate.crossval.CrossValidator`
+and folds the records into a canonical, version-stamped
+:class:`ValidationReport` with the same determinism guarantees as the
+suite reports (sorted keys, no wall-clock fields, normalised floats) —
+so validation agreement can be pinned by goldens and diffed field by
+field exactly like the cost model's own outputs.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.explore.engine import SweepResult
+from repro.suite.diff import FieldDiff, diff_payloads
+from repro.suite.golden import golden_config
+from repro.suite.report import (
+    VALIDATION_SCHEMA,
+    SuiteReport,
+    canonical_json,
+    load_report,
+)
+from repro.suite.runner import SuiteConfig, WorkloadSuite
+from repro.validate.crossval import (
+    DEFAULT_MEMORY_TOLERANCE,
+    DEFAULT_TOLERANCE,
+    CrossValidator,
+    ValidationRecord,
+)
+
+__all__ = [
+    "VALIDATION_SCHEMA",
+    "ValidationReport",
+    "ValidationRun",
+    "validate_suite",
+    "validation_golden_dir",
+    "run_golden_validation",
+    "record_validation_goldens",
+    "check_validation_goldens",
+]
+
+
+class ValidationReport(SuiteReport):
+    """A canonical validation report (same shell as a suite report)."""
+
+    @property
+    def validation(self) -> dict:
+        return self.payload.get("validation", {})
+
+    def kernel_payload(self, name: str) -> dict:
+        """The standalone single-kernel payload (for per-kernel goldens)."""
+        payload = super().kernel_payload(name)
+        payload["validation"] = self.payload["validation"]
+        return payload
+
+
+@dataclass
+class ValidationRun:
+    """Outcome of one suite-level cross-validation."""
+
+    report: ValidationReport
+    records: dict[str, list[ValidationRecord]]
+    sweep: SweepResult
+
+    @property
+    def points(self) -> int:
+        return sum(len(records) for records in self.records.values())
+
+    @property
+    def disagreements(self) -> list[ValidationRecord]:
+        return [
+            record
+            for records in self.records.values()
+            for record in records
+            if not record.ok
+        ]
+
+    @property
+    def ok(self) -> bool:
+        """True when every validated point agrees within tolerance."""
+        return not self.disagreements
+
+
+def _validate_batch(payload) -> list[ValidationRecord]:
+    """Worker entry point: validate one contiguous batch of sweep entries.
+
+    Each batch gets a fresh validator; the records are pure functions of
+    the entries (the spec re-derivation warm-starts from the persistent
+    store when enabled), so parallel and serial validation produce
+    byte-identical reports.
+    """
+    tolerance, memory_tolerance, cycle_accurate, entries = payload
+    validator = CrossValidator(
+        tolerance=tolerance,
+        memory_tolerance=memory_tolerance,
+        cycle_accurate=cycle_accurate,
+    )
+    return [validator.validate_entry(entry) for entry in entries]
+
+
+def _validate_entries(
+    entries: list,
+    tolerance: float,
+    memory_tolerance: float,
+    cycle_accurate: bool,
+    jobs: int | None,
+) -> list[ValidationRecord]:
+    """Validate a flat entry list, optionally over a process pool."""
+    if not jobs or jobs <= 1 or len(entries) <= 1:
+        return _validate_batch((tolerance, memory_tolerance, cycle_accurate, entries))
+    workers = min(jobs, os.cpu_count() or 1, len(entries))
+    size = (len(entries) + 2 * workers - 1) // (2 * workers)
+    payloads = [
+        (tolerance, memory_tolerance, cycle_accurate, entries[start : start + size])
+        for start in range(0, len(entries), size)
+    ]
+    records: list[ValidationRecord] = []
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        for batch in executor.map(_validate_batch, payloads):
+            records.extend(batch)
+    return records
+
+
+def validate_suite(
+    config: SuiteConfig | None = None,
+    backend=None,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    memory_tolerance: float = DEFAULT_MEMORY_TOLERANCE,
+    cycle_accurate: bool = True,
+    jobs: int | None = None,
+) -> ValidationRun:
+    """Cost a suite grid and cross-validate every point.
+
+    ``backend`` selects the costing backend (serial or process-pool);
+    ``jobs`` fans the validation pass itself — the per-point spec
+    re-derivation and the pure-Python cycle-stepping simulation, which
+    dominate on large grids — over that many worker processes.  Records
+    are pure functions of the costed entries, so every combination
+    produces byte-identical reports.
+    """
+    suite = WorkloadSuite(config or SuiteConfig(), backend)
+    spaces, sweep = suite.sweep()
+    slices = suite.kernel_entries(spaces, sweep)
+    flat_records = _validate_entries(
+        [entry for entries in slices.values() for entry in entries],
+        tolerance, memory_tolerance, cycle_accurate, jobs,
+    )
+
+    kernels: dict[str, dict] = {}
+    records_by_kernel: dict[str, list[ValidationRecord]] = {}
+    max_error = 0.0
+    max_gap = 0
+    agreeing_total = 0
+    cursor = 0
+    for name, entries in slices.items():
+        records = flat_records[cursor : cursor + len(entries)]
+        cursor += len(entries)
+        records_by_kernel[name] = records
+        workload = suite.config.workload_for(name)
+        agreeing = sum(1 for r in records if r.ok)
+        agreeing_total += agreeing
+        for record in records:
+            max_error = max(max_error, record.seconds_relative_error)
+            if record.cycle_gap is not None:
+                max_gap = max(max_gap, record.cycle_gap)
+        kernels[name] = {
+            "workload": {"grid": list(workload.grid),
+                         "iterations": workload.iterations},
+            "points": len(records),
+            "agreeing": agreeing,
+            "records": [record.as_dict() for record in records],
+        }
+
+    points_total = sum(info["points"] for info in kernels.values())
+    payload = {
+        "schema": VALIDATION_SCHEMA,
+        "config": suite.config.as_dict(),
+        "validation": {
+            "tolerance": tolerance,
+            "memory_tolerance": memory_tolerance,
+            "cycle_accurate": cycle_accurate,
+        },
+        "kernels": kernels,
+        "totals": {
+            "kernels": len(kernels),
+            "points": points_total,
+            "agreeing": agreeing_total,
+            "disagreeing": points_total - agreeing_total,
+            "max_seconds_relative_error": max_error,
+            "max_cycle_gap": max_gap,
+        },
+    }
+    return ValidationRun(
+        report=ValidationReport(payload), records=records_by_kernel, sweep=sweep
+    )
+
+
+# ----------------------------------------------------------------------
+# The validation golden harness (mirrors repro.suite.golden)
+# ----------------------------------------------------------------------
+
+
+def validation_golden_dir(root: Path | str | None = None) -> Path:
+    """``tests/golden/validation`` under the repo root."""
+    if root is not None:
+        return Path(root)
+    # src/repro/validate/suite.py -> repo root is three parents above src/
+    return Path(__file__).resolve().parents[3] / "tests" / "golden" / "validation"
+
+
+def run_golden_validation(kernels: tuple[str, ...] = ()) -> ValidationReport:
+    """Cross-validate the golden suite configuration (default tolerances)."""
+    return validate_suite(golden_config(kernels)).report
+
+
+def record_validation_goldens(directory: Path | str | None = None,
+                              kernels: tuple[str, ...] = ()) -> list[Path]:
+    """(Re-)write one validation golden per kernel; returns written paths."""
+    directory = validation_golden_dir(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    report = run_golden_validation(kernels)
+    written = []
+    for name in sorted(report.kernels):
+        path = directory / f"{name}.json"
+        path.write_text(canonical_json(report.kernel_payload(name)))
+        written.append(path)
+    return written
+
+
+def check_validation_goldens(directory: Path | str | None = None,
+                             kernels: tuple[str, ...] = (),
+                             rtol: float = 0.0) -> dict[str, list[FieldDiff]]:
+    """Re-run the cross-validation and diff against the recorded goldens."""
+    directory = validation_golden_dir(directory)
+    report = run_golden_validation(kernels)
+    results: dict[str, list[FieldDiff]] = {}
+    for name in sorted(report.kernels):
+        path = directory / f"{name}.json"
+        if not path.exists():
+            results[name] = [FieldDiff(str(path), "removed",
+                                       left="validation golden missing — run "
+                                            "`suite record-golden --validation`")]
+            continue
+        golden = load_report(path, expected_schema=VALIDATION_SCHEMA)
+        results[name] = diff_payloads(golden, report.kernel_payload(name), rtol=rtol)
+    return results

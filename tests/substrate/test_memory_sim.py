@@ -38,6 +38,17 @@ class TestConfigs:
         cfg = PCIeConfig.for_device(VIRTEX7_ADM_PCIE_7V3)
         assert cfg.gen == 3 and cfg.lanes == 8
 
+    def test_pcie_rejects_unknown_generation(self):
+        # a bare KeyError out of raw_gbps used to be the only diagnostic
+        with pytest.raises(ValueError, match=r"unsupported PCIe generation 5.*\[1, 2, 3, 4\]"):
+            PCIeConfig(gen=5)
+        with pytest.raises(ValueError, match="unsupported PCIe generation 0"):
+            PCIeConfig(gen=0)
+
+    def test_pcie_rejects_non_positive_lanes(self):
+        with pytest.raises(ValueError, match="lanes"):
+            PCIeConfig(gen=2, lanes=0)
+
 
 class TestDRAMStreams:
     def test_zero_elements(self, sim):

@@ -182,5 +182,5 @@ class TestLoadReport:
     def test_rejects_wrong_schema(self, tmp_path):
         path = tmp_path / "x.json"
         path.write_text(json.dumps({"schema": "repro-suite-report/999"}))
-        with pytest.raises(ValueError, match="not the supported"):
+        with pytest.raises(ValueError, match="not one of the supported"):
             load_report(path)

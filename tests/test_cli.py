@@ -28,6 +28,7 @@ class TestParser:
     def test_suite_subcommands_registered(self):
         parser = build_parser()
         assert parser.parse_args(["suite", "run"]).suite_command == "run"
+        assert parser.parse_args(["suite", "validate"]).suite_command == "validate"
         assert parser.parse_args(["suite", "diff", "a.json", "b.json"]).suite_command == "diff"
         assert parser.parse_args(["suite", "record-golden"]).suite_command == "record-golden"
 
@@ -209,6 +210,57 @@ class TestSuiteCommand:
         assert rc == 0
         assert {p.name for p in tmp_path.iterdir()} == {"sor.json", "lavamd.json"}
         assert "2 golden report(s)" in capsys.readouterr().out
+
+    def test_suite_validate_golden_grid_passes(self, capsys):
+        rc = main(["suite", "validate", "--tiny", "--kernels", "sor", "conv2d"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "6 agree, 0 disagree" in out
+
+    def test_suite_validate_zero_tolerance_fails(self, capsys):
+        rc = main(["suite", "validate", "--tiny", "--kernels", "conv2d",
+                   "--tolerance", "0"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "DISAGREEMENT" in captured.err
+
+    def test_suite_validate_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "validation.json"
+        rc = main(["suite", "validate", "--tiny", "--kernels", "sor",
+                   "--no-cycle-accurate", "-o", str(out_path), "--json"])
+        assert rc == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"].startswith("repro-validation-report/")
+        assert payload["validation"]["cycle_accurate"] is False
+        record = payload["kernels"]["sor"]["records"][0]
+        assert record["simulated"]["cycle_accurate"] is None
+        assert payload == json.loads(capsys.readouterr().out)
+        # the canonical validation report diffs against itself cleanly
+        assert main(["suite", "diff", str(out_path), str(out_path)]) == 0
+
+    def test_suite_diff_refuses_mixed_layouts(self, tmp_path, capsys):
+        suite_path = tmp_path / "suite.json"
+        validation_path = tmp_path / "validation.json"
+        assert main(["suite", "run", "--tiny", "--kernels", "sor",
+                     "-o", str(suite_path)]) == 0
+        assert main(["suite", "validate", "--tiny", "--kernels", "sor",
+                     "-o", str(validation_path)]) == 0
+        capsys.readouterr()
+        assert main(["suite", "diff", str(suite_path), str(validation_path)]) == 2
+        assert "different report layouts" in capsys.readouterr().err
+
+    def test_suite_validate_unknown_kernel(self, capsys):
+        rc = main(["suite", "validate", "--kernels", "nbody"])
+        assert rc == 2
+        assert "unknown kernels" in capsys.readouterr().err
+
+    def test_suite_record_golden_validation(self, tmp_path, capsys):
+        rc = main(["suite", "record-golden", "--validation",
+                   "--dir", str(tmp_path), "--kernels", "sor"])
+        assert rc == 0
+        assert {p.name for p in tmp_path.iterdir()} == {"sor.json"}
+        payload = json.loads((tmp_path / "sor.json").read_text())
+        assert payload["schema"].startswith("repro-validation-report/")
 
 
 class TestCalibrateAndStream:

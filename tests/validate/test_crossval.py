@@ -1,0 +1,111 @@
+"""Unit tests for the per-point cross-validator."""
+
+import json
+import math
+
+import pytest
+
+from repro.explore.engine import ExplorationEngine
+from repro.explore.space import DesignSpace
+from repro.kernels import get_kernel
+from repro.suite import canonicalize, tiny_grid
+from repro.validate import (
+    DEFAULT_MEMORY_TOLERANCE,
+    DEFAULT_TOLERANCE,
+    CrossValidator,
+)
+
+
+@pytest.fixture(scope="module")
+def sor_entries():
+    """Costed sor design points (tiny grid, lanes 1/2/4) to validate."""
+    kernel = get_kernel("sor")
+    space = DesignSpace(kernel=kernel, grid=tiny_grid(kernel.default_grid),
+                        iterations=10, lanes=[1, 2, 4])
+    return ExplorationEngine().explore(space).entries
+
+
+class TestCrossValidator:
+    def test_tolerances_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            CrossValidator(tolerance=-0.1)
+        with pytest.raises(ValueError):
+            CrossValidator(memory_tolerance=-1.0)
+
+    def test_validates_a_costed_point(self, sor_entries):
+        validator = CrossValidator()
+        record = validator.validate_entry(sor_entries[0])
+        assert record.ok
+        assert record.within_tolerance
+        assert record.cycles_within_depth
+        assert record.limiting_factor_match
+        assert not record.diverged
+        # the simulated and estimated device cycles are the same quantity
+        assert record.analytic.cycles == pytest.approx(record.estimated_cycles,
+                                                       rel=DEFAULT_TOLERANCE)
+        # the cycle-stepping mode honoured its documented invariant
+        assert record.cycle_gap is not None
+        assert record.cycle_gap <= record.pipeline_depth
+
+    def test_form_c_has_host_leg_only(self, sor_entries):
+        record = CrossValidator().validate_entry(sor_entries[0])
+        assert record.form == "C"
+        assert [leg.name for leg in record.legs] == ["host"]
+        host = record.legs[0]
+        assert host.relative_error <= DEFAULT_MEMORY_TOLERANCE
+        assert host.footprint_bytes > 0
+
+    def test_estimate_reconstructs_identical_spec(self, sor_entries):
+        """The validator's re-analysis hits the same family caches the
+        sweep warmed, so the spec-derived fields are deterministic."""
+        validator = CrossValidator()
+        first = validator.validate_entry(sor_entries[1])
+        second = validator.validate_entry(sor_entries[1])
+        assert first.as_dict() == second.as_dict()
+
+    def test_zero_tolerance_flags_rounding_residual(self, sor_entries):
+        """tolerance=0 demands exactness; ceil rounding makes sor disagree."""
+        record = CrossValidator(tolerance=0.0).validate_entry(sor_entries[0])
+        assert record.seconds_relative_error > 0.0
+        assert not record.within_tolerance
+        assert not record.ok
+
+    def test_huge_tolerance_always_agrees_on_seconds(self, sor_entries):
+        record = CrossValidator(tolerance=math.inf,
+                                memory_tolerance=math.inf).validate_entry(sor_entries[0])
+        assert record.within_tolerance
+        assert record.memory_within_tolerance
+        assert record.ok
+
+    def test_tolerance_boundary_is_inclusive(self, sor_entries):
+        base = CrossValidator().validate_entry(sor_entries[0])
+        exact = CrossValidator(
+            tolerance=base.seconds_relative_error
+        ).validate_entry(sor_entries[0])
+        assert exact.within_tolerance
+        just_below = CrossValidator(
+            tolerance=base.seconds_relative_error * 0.999
+        ).validate_entry(sor_entries[0])
+        assert not just_below.within_tolerance
+
+    def test_cycle_accurate_off_skips_stepping(self, sor_entries):
+        record = CrossValidator(cycle_accurate=False).validate_entry(sor_entries[0])
+        assert record.stepped is None
+        assert record.cycle_gap is None
+        assert record.cycles_within_depth  # not checked, not failed
+        assert record.ok
+
+    def test_record_dict_is_canonical_json(self, sor_entries):
+        record = CrossValidator().validate_entry(sor_entries[2])
+        payload = canonicalize(record.as_dict())
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped == payload
+        assert payload["simulated"]["analytic"]["cycles"] == record.analytic.cycles
+        assert payload["agreement"]["cycle_gap_limit"] == record.pipeline_depth
+
+    def test_sessions_are_shared_per_option_set(self, sor_entries):
+        validator = CrossValidator()
+        for entry in sor_entries:
+            validator.validate_entry(entry)
+        # all three lane counts share one estimation session
+        assert len(validator._pipelines) == 1
