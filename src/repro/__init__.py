@@ -8,7 +8,7 @@ This package reproduces, in pure Python, the system described in
 Layering (lower layers never import higher ones)::
 
     ir <- models <- substrate <- cost <- compiler <- functional <- kernels
-       <- explore <- suite <- validate <- cli
+       <- explore <- suite <- validate <- flows <- cli
 
 Sub-packages
 ------------
@@ -47,6 +47,14 @@ Sub-packages
     Cross-validation of the analytic cost model against the substrate
     simulators: per-point agreement records, suite-level validation
     reports with their own goldens, surfaced as ``tybec suite validate``.
+``repro.flows``
+    RTL flow orchestration (xeda-style): declarative flows with managed
+    run directories, artifact manifests and content-keyed caching over a
+    pure-Python RTL backend (Verilog subset parser, structural netlist,
+    cycle simulator) plus optional iverilog/verilator/yosys adapters —
+    the generated HDL verified against the kernel Python references and
+    the pipeline simulator, surfaced as ``tybec flow`` and
+    ``tybec suite flow``.
 """
 
 __version__ = "0.1.0"

@@ -25,16 +25,27 @@ Sub-commands mirror the flows of the paper:
     Run the Figure-10 sustained-bandwidth benchmark on the memory
     simulator.
 
-``tybec suite run|validate|diff|record-golden``
+``tybec flow run|sim|report``
+    The RTL flow orchestration: ``run`` takes a ``.tirl`` design, emits
+    its HDL into a managed run directory, elaborates it with the
+    pure-Python RTL backend (or iverilog via ``--backend``), simulates
+    the seeded testbench stimulus and verifies every output word and
+    reduction against the kernel Python reference; ``sim`` does the same
+    for a registered kernel (``--kernel/--lanes/--grid``); ``report``
+    pretty-prints a stored ``result.json``.
+
+``tybec suite run|validate|flow|diff|record-golden``
     The workload suite: cost every registered kernel across a
     kernel x device x form x lane grid and emit a canonical JSON report
     (``run``), cross-validate every costed point against the
     cycle-accurate substrate simulators and exit non-zero on disagreement
     (``validate``, with ``--tolerance`` / ``--no-cycle-accurate``),
-    compare two reports field by field (``diff``, non-zero exit on any
-    difference), or regenerate the checked-in golden reports after an
-    intentional model change (``record-golden``, ``--validation`` for
-    the cross-validation goldens).
+    RTL-verify every unique design family of the grid and exit non-zero
+    on any functional or cycle disagreement (``flow``), compare two
+    reports field by field (``diff``, non-zero exit on any difference),
+    or regenerate the checked-in golden reports after an intentional
+    model change (``record-golden``; ``--validation`` for the
+    cross-validation goldens, ``--flows`` for the RTL flow goldens).
 
 ``tybec cache stats|clear|warm``
     The persistent warm-start store (``TYBEC_CACHE_DIR``, default
@@ -121,6 +132,54 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--sides", type=int, nargs="+",
                         default=list(MemorySystemSimulator.DEFAULT_SIDES))
 
+    flow = sub.add_parser(
+        "flow",
+        help="run RTL flows over the generated HDL",
+        description="Elaborate, simulate and verify the generated Verilog "
+                    "against the kernel Python reference — the pure-Python "
+                    "RTL backend needs nothing installed; external backends "
+                    "(iverilog) are discovered on PATH.",
+    )
+    flow_sub = flow.add_subparsers(dest="flow_command", required=True)
+
+    def _add_flow_sim_args(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--items", type=int, default=256,
+                            help="work items to stream (default: 256)")
+        parser.add_argument("--seed", type=lambda s: int(s, 0), default=None,
+                            help="stimulus seed (default: the testbench default)")
+        parser.add_argument("--backend", choices=["pyrtl", "iverilog"],
+                            default="pyrtl",
+                            help="simulation backend (default: pure Python)")
+        parser.add_argument("--no-cache", dest="use_cache", action="store_false",
+                            default=True,
+                            help="bypass the persistent flow-result cache")
+        parser.add_argument("-o", "--output", type=Path, default=None,
+                            metavar="DIR",
+                            help="run-directory root (artifacts, manifest and "
+                                 "result.json are written beneath it)")
+        parser.add_argument("--json", action="store_true",
+                            help="print the result payload as JSON")
+
+    flow_run = flow_sub.add_parser(
+        "run", help="verify a .tirl design's generated RTL end to end")
+    flow_run.add_argument("design", type=Path, help="path to the .tirl file")
+    flow_run.add_argument("--function", default=None,
+                          help="leaf function to simulate (default: largest leaf)")
+    _add_flow_sim_args(flow_run)
+
+    flow_sim = flow_sub.add_parser(
+        "sim", help="verify a registered kernel's generated RTL")
+    flow_sim.add_argument("--kernel", choices=sorted(ALL_KERNELS), default="sor")
+    flow_sim.add_argument("--lanes", type=int, default=1)
+    flow_sim.add_argument("--grid", type=int, nargs="+", default=None)
+    _add_flow_sim_args(flow_sim)
+
+    flow_report = flow_sub.add_parser(
+        "report", help="pretty-print a stored flow result")
+    flow_report.add_argument("path", type=Path,
+                             help="a flow run directory or its result.json")
+    flow_report.add_argument("--json", action="store_true")
+
     suite = sub.add_parser(
         "suite",
         help="run, diff or pin the multi-kernel workload suite",
@@ -193,6 +252,25 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="skip the cycle-stepping pass "
                                      "(analytic simulation only)")
 
+    suite_flow = suite_sub.add_parser(
+        "flow",
+        help="RTL-verify every unique design family of the grid "
+             "(exit 1 on any disagreement)",
+        description="Cost a suite grid through the exploration engine, "
+                    "then elaborate and cycle-simulate the generated "
+                    "Verilog of every (kernel, lanes, grid) family with "
+                    "the pure-Python RTL backend, checking outputs and "
+                    "reductions bit for bit against the kernel Python "
+                    "reference and cycle counts against the pipeline "
+                    "simulator.",
+    )
+    _add_suite_sweep_args(suite_flow)
+    suite_flow.add_argument("--seed", type=lambda s: int(s, 0), default=None,
+                            help="stimulus seed (default: testbench default)")
+    suite_flow.add_argument("--max-items", type=int, default=None,
+                            help="cap on work items streamed per family "
+                                 "(default: 512)")
+
     suite_diff = suite_sub.add_parser(
         "diff", help="compare two suite reports field by field "
                      "(exit 1 on any difference)")
@@ -214,6 +292,9 @@ def build_parser() -> argparse.ArgumentParser:
     suite_golden.add_argument("--validation", action="store_true",
                               help="record the cross-validation goldens instead "
                                    "of the suite-report goldens")
+    suite_golden.add_argument("--flows", action="store_true",
+                              help="record the RTL flow goldens instead of the "
+                                   "suite-report goldens")
 
     cache = sub.add_parser(
         "cache",
@@ -519,6 +600,72 @@ def _cmd_suite_validate(args) -> int:
     return 0
 
 
+def _cmd_suite_flow(args) -> int:
+    from repro.compiler.codegen.testbench import DEFAULT_STIMULUS_SEED
+    from repro.flows import DEFAULT_MAX_ITEMS, run_flow_suite
+
+    seed = args.seed if args.seed is not None else DEFAULT_STIMULUS_SEED
+    max_items = args.max_items if args.max_items is not None else DEFAULT_MAX_ITEMS
+    try:
+        config = _suite_config_from_args(args)
+        run = run_flow_suite(config, backend=_explore_backend(args),
+                             seed=seed, max_items=max_items, jobs=args.jobs)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.output:
+        run.report.write(args.output)
+        print(f"wrote flow report to {args.output}", file=sys.stderr)
+    if args.json:
+        print(run.report.to_json(), end="")
+        return 0 if run.ok else 1
+
+    header = (f"{'kernel':>8} {'lanes':>5} {'items':>6} {'rtl cyc':>8} "
+              f"{'analytic':>9} {'gap':>4} {'outputs':>8} {'red':>4} {'ok':>3}")
+    print(header)
+    print("-" * len(header))
+    for name, families in run.records.items():
+        for key, payload in sorted(families.items()):
+            functional = payload.get("functional", {})
+            cycles = payload.get("cycles", {})
+            lanes = key.lstrip("l")
+            print(f"{name:>8} {lanes:>5} {payload.get('items', 0):>6} "
+                  f"{cycles.get('rtl', 0):>8} {cycles.get('analytic', 0):>9} "
+                  f"{cycles.get('gap_analytic', 0):>4} "
+                  f"{functional.get('outputs_checked', 0):>8} "
+                  f"{'y' if functional.get('reductions_match') else 'N':>4} "
+                  f"{'y' if payload.get('ok') else 'N':>3}")
+    totals = run.report.totals
+    print(f"verified {totals['families']} RTL families across "
+          f"{totals['kernels']} kernels ({totals['points']} costed points): "
+          f"{totals['ok']} ok, {totals['failing']} failing "
+          f"(max cycle gap {totals['max_cycle_gap']}) "
+          f"in {run.flow_seconds:.3f} s of RTL simulation")
+    if not run.ok:
+        for kernel, key in run.failures:
+            payload = run.records[kernel][key]
+            functional = payload.get("functional", {})
+            cycles = payload.get("cycles", {})
+            causes = []
+            if payload.get("lint"):
+                causes.append(f"lint: {payload['lint'][:3]}")
+            if functional and not functional.get("ok"):
+                causes.append(
+                    f"functional: {functional.get('output_mismatches')} "
+                    f"mismatches, reductions "
+                    f"{'ok' if functional.get('reductions_match') else 'DISAGREE'}")
+            if cycles and not cycles.get("ok"):
+                causes.append(
+                    f"cycles: gaps {cycles.get('gap_analytic')}/"
+                    f"{cycles.get('gap_stepped')} exceed bound "
+                    f"{cycles.get('bound')}")
+            print(f"FAILURE at {kernel} {key}: "
+                  + ("; ".join(causes) or "see --json payload"),
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_suite_diff(args) -> int:
     from repro.suite import diff_payloads, format_diffs, load_report
 
@@ -538,8 +685,13 @@ def _cmd_suite_diff(args) -> int:
 
 
 def _cmd_suite_record_golden(args) -> int:
+    if args.validation and args.flows:
+        print("--validation and --flows are mutually exclusive", file=sys.stderr)
+        return 2
     if args.validation:
         from repro.validate import record_validation_goldens as _record
+    elif args.flows:
+        from repro.flows import record_flow_goldens as _record
     else:
         from repro.suite import record_goldens as _record
 
@@ -559,6 +711,7 @@ def _cmd_suite_record_golden(args) -> int:
 _SUITE_COMMANDS = {
     "run": _cmd_suite_run,
     "validate": _cmd_suite_validate,
+    "flow": _cmd_suite_flow,
     "diff": _cmd_suite_diff,
     "record-golden": _cmd_suite_record_golden,
 }
@@ -566,6 +719,134 @@ _SUITE_COMMANDS = {
 
 def _cmd_suite(args) -> int:
     return _SUITE_COMMANDS[args.suite_command](args)
+
+
+def _flow_settings_from_args(args):
+    from repro.compiler.codegen.testbench import DEFAULT_STIMULUS_SEED
+    from repro.flows import FlowSettings
+
+    return FlowSettings(
+        run_root=args.output,
+        seed=args.seed if args.seed is not None else DEFAULT_STIMULUS_SEED,
+        n_items=args.items,
+        use_cache=args.use_cache,
+    )
+
+
+def _print_flow_result(result, as_json: bool) -> int:
+    payload = result.payload
+    if as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if result.ok else 1
+    functional = payload.get("functional", {})
+    cycles = payload.get("cycles", {})
+    cached = " (cached)" if result.cached else ""
+    print(f"flow {result.flow} on {result.design}"
+          f"{' @' + result.function if result.function else ''}: "
+          f"{'OK' if result.ok else 'FAILED'}{cached}")
+    if payload.get("lint"):
+        for problem in payload["lint"]:
+            print(f"  lint: {problem}")
+    for line in payload.get("error", []):
+        print(f"  error: {line}")
+    if functional:
+        print(f"  functional: {functional.get('outputs_checked', 0)} output "
+              f"words checked, {functional.get('output_mismatches', 0)} "
+              f"mismatches; reductions "
+              f"{'match' if functional.get('reductions_match') else 'DISAGREE'}")
+        for miss in functional.get("first_mismatches", []):
+            print(f"    mismatch {miss['stream']}[{miss['index']}]: "
+                  f"expected {miss['expected']}, got {miss['actual']}")
+    if cycles:
+        print(f"  cycles: rtl {cycles.get('rtl')}, analytic "
+              f"{cycles.get('analytic')}, stepped {cycles.get('stepped')} "
+              f"(gaps {cycles.get('gap_analytic')}/{cycles.get('gap_stepped')}, "
+              f"bound {cycles.get('bound')})")
+    if result.run_dir is not None:
+        print(f"  run directory: {result.run_dir}")
+    print(f"  wall: {result.wall_seconds:.3f} s")
+    return 0 if result.ok else 1
+
+
+def _run_sim_flow(module, args, function_name=None) -> int:
+    from repro.flows import ToolUnavailableError, default_sim_flow
+
+    flow_cls = default_sim_flow(args.backend)
+    if not flow_cls.available():
+        print(f"backend {args.backend!r} is not available on this machine "
+              "(tool not on PATH); use --backend pyrtl", file=sys.stderr)
+        return 2
+    try:
+        flow = flow_cls(module, _flow_settings_from_args(args),
+                        function_name=function_name)
+        result = flow.run()
+    except (ValueError, ToolUnavailableError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return _print_flow_result(result, args.json)
+
+
+def _cmd_flow_run(args) -> int:
+    from repro.ir.errors import IRError
+
+    compiler = TybecCompiler(CompilationOptions())
+    try:
+        module = compiler.parse(args.design.read_text(), name=args.design.stem)
+    except (OSError, IRError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return _run_sim_flow(module, args, function_name=args.function)
+
+
+def _cmd_flow_sim(args) -> int:
+    from repro.functional.typetrans import TransformationError
+
+    kernel = get_kernel(args.kernel)
+    grid = tuple(args.grid) if args.grid else kernel.default_grid
+    try:
+        module = kernel.build_module(lanes=args.lanes, grid=grid)
+    except (ValueError, TransformationError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    return _run_sim_flow(module, args)
+
+
+def _cmd_flow_report(args) -> int:
+    path = args.path
+    if path.is_dir():
+        path = path / "result.json"
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read flow result: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"flow result at {path}:")
+    for key in ("backend", "function", "items", "seed", "ok"):
+        if key in payload:
+            print(f"  {key}: {payload[key]}")
+    for section in ("geometry", "netlist", "cycles"):
+        if section in payload:
+            rendered = ", ".join(f"{k}={v}" for k, v in payload[section].items())
+            print(f"  {section}: {rendered}")
+    functional = payload.get("functional")
+    if functional:
+        print(f"  functional: {functional.get('outputs_checked', 0)} checked, "
+              f"{functional.get('output_mismatches', 0)} mismatches")
+    return 0
+
+
+_FLOW_COMMANDS = {
+    "run": _cmd_flow_run,
+    "sim": _cmd_flow_sim,
+    "report": _cmd_flow_report,
+}
+
+
+def _cmd_flow(args) -> int:
+    return _FLOW_COMMANDS[args.flow_command](args)
 
 
 def _cmd_cache_stats(args) -> int:
@@ -667,6 +948,7 @@ _COMMANDS = {
     "explore": _cmd_explore,
     "calibrate": _cmd_calibrate,
     "stream-bench": _cmd_stream_bench,
+    "flow": _cmd_flow,
     "suite": _cmd_suite,
     "cache": _cmd_cache,
 }

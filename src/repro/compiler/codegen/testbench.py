@@ -1,32 +1,80 @@
 """Verilog testbench generation for generated kernel pipelines.
 
-The paper's flow hands the generated HDL to a vendor toolchain; a
-downstream user of this reproduction will instead want to drive the
-generated kernel module in an HDL simulator.  This generator emits a
-self-checking-style testbench skeleton for a leaf datapath function:
+The paper's flow hands the generated HDL to a vendor toolchain; this
+reproduction instead closes the loop itself (:mod:`repro.flows`), so the
+testbench is built to be *checkable by machines*:
 
-* clock and reset generation;
-* stimulus registers for every input stream, driven from a simple counter
-  pattern (or from ``$readmemh`` files when ``use_memh`` is set);
-* a cycle counter and an automatic ``$finish`` after the pipeline has
-  drained (items + pipeline depth + margin cycles);
-* waveform dumping and result logging of the output streams and the
-  reduction registers.
+* every input stream is driven from a 32-bit LCG whose per-stream seed is
+  a pure function of ``(seed, stream index)`` — :func:`stimulus_words`
+  reproduces the exact word sequence in Python, so any simulator (the
+  pure-Python RTL backend, iverilog, verilator) sees identical stimulus
+  and can be checked against the same reference outputs;
+* results are printed as machine-parsable lines::
+
+      RESULT <stream> <index> <hex>      one per output stream per item
+      REDUCTION <name> <hex>             final accumulator values
+      DONE <cycles>                      total cycles at $finish
+
+  which :func:`parse_result_lines` turns back into Python values;
+* the run length covers the pipeline's full RTL latency (offset window +
+  datapath registers) plus a drain margin, and streams are driven to zero
+  after the last item so boundary behaviour is deterministic.
 """
 
 from __future__ import annotations
 
-from repro.compiler.scheduling import OperatorLatencyModel, schedule_function
+from repro.compiler.codegen.verilog import _sanitize
+from repro.compiler.scheduling import OperatorLatencyModel
 from repro.ir.functions import IRFunction, Module, StreamDirection
 
-__all__ = ["generate_testbench"]
+__all__ = [
+    "LCG_MULTIPLIER",
+    "LCG_INCREMENT",
+    "DEFAULT_STIMULUS_SEED",
+    "stream_seed",
+    "stimulus_words",
+    "select_leaf_function",
+    "generate_testbench",
+    "parse_result_lines",
+]
+
+#: the numerical-recipes LCG; any 32-bit full-period LCG would do, this one
+#: is what the emitted Verilog hard-codes, so keep the two in lock step
+LCG_MULTIPLIER = 1664525
+LCG_INCREMENT = 1013904223
+_MASK32 = 0xFFFFFFFF
+
+#: default testbench stimulus seed (flows pass their own)
+DEFAULT_STIMULUS_SEED = 0x7C0FFEE
+
+#: per-stream seed spacing (the 32-bit golden ratio, to decorrelate streams)
+_STREAM_SALT = 0x9E3779B9
 
 
-def _sanitize(name: str) -> str:
-    out = name.replace(".", "_")
-    if out and out[0].isdigit():
-        out = "v" + out
-    return out
+def stream_seed(seed: int, stream_index: int) -> int:
+    """The 32-bit LCG state stream ``stream_index`` starts from."""
+    return (seed + _STREAM_SALT * (stream_index + 1)) & _MASK32
+
+
+def stimulus_words(seed: int, stream_index: int, n_items: int, width: int) -> list[int]:
+    """The exact word sequence the testbench drives on one input stream."""
+    mask = (1 << width) - 1
+    state = stream_seed(seed, stream_index)
+    words = []
+    for _ in range(n_items):
+        words.append(state & mask)
+        state = (state * LCG_MULTIPLIER + LCG_INCREMENT) & _MASK32
+    return words
+
+
+def select_leaf_function(module: Module, function_name: str | None) -> IRFunction:
+    if function_name is not None:
+        return module.get_function(function_name)
+    leaves = [f for f in module.functions.values()
+              if f.is_leaf and f.name != module.main and f.instructions()]
+    if not leaves:
+        raise ValueError("module has no leaf datapath function to test")
+    return max(leaves, key=lambda f: f.instruction_count())
 
 
 def generate_testbench(
@@ -35,30 +83,44 @@ def generate_testbench(
     n_items: int = 256,
     clock_period_ns: int = 5,
     use_memh: bool = False,
+    seed: int = DEFAULT_STIMULUS_SEED,
 ) -> str:
-    """Emit a Verilog testbench for one leaf kernel of ``module``."""
+    """Emit a self-checking Verilog testbench for one leaf kernel."""
     if n_items <= 0:
         raise ValueError("n_items must be positive")
-    if function_name is None:
-        leaves = [f for f in module.functions.values()
-                  if f.is_leaf and f.name != module.main and f.instructions()]
-        if not leaves:
-            raise ValueError("module has no leaf datapath function to test")
-        func: IRFunction = max(leaves, key=lambda f: f.instruction_count())
-    else:
-        func = module.get_function(function_name)
+    func = select_leaf_function(module, function_name)
 
-    schedule = schedule_function(func, OperatorLatencyModel())
-    depth = schedule.pipeline_depth
+    # the generator owns the timing geometry (offset window + balanced
+    # datapath depth); reuse it so the drain margin is always sufficient
+    from repro.compiler.codegen.verilog import VerilogGenerator
+
+    generator = VerilogGenerator(module, latency_model=OperatorLatencyModel())
+    geometry = generator.geometry(func.name)
+    depth = geometry.latency
     kernel = f"{_sanitize(func.name)}_kernel"
-    out_ports = [p.port for p in module.port_declarations
+    out_ports = [p for p in module.port_declarations
                  if p.function == func.name and p.direction is StreamDirection.OUTPUT]
-    reductions = [r.result for r in func.reductions()]
-    run_cycles = n_items + depth + 16
+    reductions = [r for r in func.reductions()]
+    # the run must outlive BOTH the last output (window + datapath depth)
+    # and the last reduction commit — a reduction can sit deeper in the
+    # schedule than any output port, and schedule_depth bounds every
+    # instruction's start cycle
+    drain = geometry.window + max(geometry.datapath_depth, geometry.schedule_depth)
+    run_cycles = n_items + drain + 16
+    # reset long enough to flush every un-reset delay line with zeros: an
+    # event-driven simulator powers the shift registers up as x, and the
+    # deepest line is an offset buffer of window - o entries feeding up
+    # to schedule_depth datapath registers
+    deepest_line = max(
+        [geometry.window]
+        + [geometry.window - module.resolve_offset(off.offset)
+           for off in func.offsets()]
+    )
+    flush_cycles = deepest_line + geometry.schedule_depth + 4
 
     lines: list[str] = [
         f"// Auto-generated testbench for @{func.name} "
-        f"(pipeline depth {depth}, {n_items} work-items)",
+        f"(RTL latency {depth}, {n_items} work-items, stimulus seed {seed:#x})",
         "`timescale 1ns/1ps",
         f"module tb_{_sanitize(func.name)};",
         "",
@@ -66,33 +128,35 @@ def generate_testbench(
         "  reg rst = 1'b1;",
         "  reg in_valid = 1'b0;",
         "  wire out_valid;",
-        f"  integer cycle = 0;",
+        "  integer cycle = 0;",
+        "  integer out_index = 0;",
         "",
         f"  always #{clock_period_ns / 2:g} clk = ~clk;",
         "",
     ]
 
-    # stimulus for each input stream
-    for ty, name in func.args:
+    # stimulus for each input stream: seeded LCG (or $readmemh files)
+    for index, (ty, name) in enumerate(func.args):
         ident = _sanitize(name)
         lines.append(f"  reg [{ty.width - 1}:0] s_{ident};")
         if use_memh:
             lines.append(f"  reg [{ty.width - 1}:0] mem_{ident} [0:{n_items - 1}];")
+        else:
+            lines.append(f"  reg [31:0] lcg_{ident};  // stream {index} LCG state")
     lines.append("")
 
     # outputs and reductions
     for port in out_ports:
-        decl_width = func.arg_types[func.arg_names[0]].width if func.args else 32
-        lines.append(f"  wire [{decl_width - 1}:0] s_{_sanitize(port)};")
-    for red in func.reductions():
+        lines.append(f"  wire [{port.element_type.width - 1}:0] s_{_sanitize(port.port)};")
+    for red in reductions:
         lines.append(f"  wire [{red.result_type.width - 1}:0] g_{_sanitize(red.result)};")
     lines.append("")
 
     # device under test
     connections = [".clk(clk)", ".rst(rst)", ".in_valid(in_valid)", ".out_valid(out_valid)"]
     connections += [f".s_{_sanitize(n)}(s_{_sanitize(n)})" for _, n in func.args]
-    connections += [f".s_{_sanitize(p)}(s_{_sanitize(p)})" for p in out_ports]
-    connections += [f".g_{_sanitize(r)}(g_{_sanitize(r)})" for r in reductions]
+    connections += [f".s_{_sanitize(p.port)}(s_{_sanitize(p.port)})" for p in out_ports]
+    connections += [f".g_{_sanitize(r.result)}(g_{_sanitize(r.result)})" for r in reductions]
     lines.append(f"  {kernel} dut (")
     lines.append("    " + ",\n    ".join(connections))
     lines.append("  );")
@@ -106,7 +170,8 @@ def generate_testbench(
         for _, name in func.args:
             ident = _sanitize(name)
             lines.append(f'    $readmemh("{ident}.memh", mem_{ident});')
-    lines.append("    repeat (4) @(posedge clk);")
+    lines.append(f"    repeat ({flush_cycles}) @(posedge clk);  "
+                 "// flush un-reset delay lines with zeros")
     lines.append("    rst = 1'b0;")
     lines.append("  end")
     lines.append("")
@@ -116,34 +181,85 @@ def generate_testbench(
     lines.append("    if (rst) begin")
     lines.append("      cycle <= 0;")
     lines.append("      in_valid <= 1'b0;")
-    for _, name in func.args:
-        lines.append(f"      s_{_sanitize(name)} <= 0;")
+    for index, (_, name) in enumerate(func.args):
+        ident = _sanitize(name)
+        lines.append(f"      s_{ident} <= 0;")
+        if not use_memh:
+            lines.append(f"      lcg_{ident} <= 32'h{stream_seed(seed, index):08x};")
     lines.append("    end else begin")
     lines.append("      cycle <= cycle + 1;")
     lines.append(f"      in_valid <= (cycle < {n_items});")
-    for index, (_, name) in enumerate(func.args):
+    lines.append(f"      if (cycle < {n_items}) begin")
+    for _, name in func.args:
         ident = _sanitize(name)
         if use_memh:
-            lines.append(f"      s_{ident} <= mem_{ident}[cycle % {n_items}];")
+            lines.append(f"        s_{ident} <= mem_{ident}[cycle % {n_items}];")
         else:
-            lines.append(f"      s_{ident} <= cycle * {index + 3};")
+            lines.append(f"        s_{ident} <= lcg_{ident}[{_stim_width(func, name) - 1}:0];")
+            lines.append(f"        lcg_{ident} <= lcg_{ident} * 32'd{LCG_MULTIPLIER} "
+                         f"+ 32'd{LCG_INCREMENT};")
+    lines.append("      end else begin")
+    for _, name in func.args:
+        # zero after the last item: boundary windows read deterministic zeros
+        lines.append(f"        s_{_sanitize(name)} <= 0;")
+    lines.append("      end")
     lines.append("    end")
     lines.append("  end")
     lines.append("")
 
-    # logging + termination
+    # machine-parsable result logging + termination
     lines.append("  always @(posedge clk) begin")
-    if out_ports:
-        logged = ", ".join(f"s_{_sanitize(p)}" for p in out_ports)
-        fmt = " ".join(f"{p}=%0d" for p in out_ports)
-        lines.append(f'    if (out_valid) $display("cycle %0d: {fmt}", cycle, {logged});')
+    lines.append("    if (!rst && out_valid) begin")
+    for port in out_ports:
+        ident = _sanitize(port.port)
+        lines.append(f'      $display("RESULT {port.port} %0d %h", out_index, s_{ident});')
+    lines.append("      out_index <= out_index + 1;")
+    lines.append("    end")
     lines.append(f"    if (cycle == {run_cycles}) begin")
     for red in reductions:
-        lines.append(f'      $display("reduction {red} = %0d", g_{_sanitize(red)});')
-    lines.append(f'      $display("done after %0d cycles (expected ~%0d)", cycle, {n_items + depth});')
+        lines.append(f'      $display("REDUCTION {red.result} %h", g_{_sanitize(red.result)});')
+    lines.append('      $display("DONE %0d", cycle);')
     lines.append("      $finish;")
     lines.append("    end")
     lines.append("  end")
     lines.append("")
     lines.append("endmodule")
     return "\n".join(lines) + "\n"
+
+
+def _stim_width(func: IRFunction, arg_name: str) -> int:
+    """Bits of LCG state driven onto one stream (the state is 32 wide)."""
+    return min(func.arg_types[arg_name].width, 32)
+
+
+def parse_result_lines(text: str):
+    """Parse ``RESULT``/``REDUCTION``/``DONE`` lines from simulator output.
+
+    Returns ``(outputs, reductions, cycles)`` where ``outputs`` maps each
+    stream name to ``{index: value}``, ``reductions`` maps accumulator
+    names to their final values, and ``cycles`` is the ``DONE`` count
+    (None when the simulation never printed one).  Lines containing ``x``
+    or ``z`` digits are recorded as ``None`` — undefined values must never
+    silently compare equal.
+    """
+    outputs: dict[str, dict[int, int | None]] = {}
+    reductions: dict[str, int | None] = {}
+    cycles: int | None = None
+
+    def parse_hex(token: str) -> int | None:
+        try:
+            return int(token, 16)
+        except ValueError:
+            return None  # 'x'/'z' digits from an uninitialised signal
+
+    for raw in text.splitlines():
+        parts = raw.strip().split()
+        if not parts:
+            continue
+        if parts[0] == "RESULT" and len(parts) == 4:
+            outputs.setdefault(parts[1], {})[int(parts[2])] = parse_hex(parts[3])
+        elif parts[0] == "REDUCTION" and len(parts) == 3:
+            reductions[parts[1]] = parse_hex(parts[2])
+        elif parts[0] == "DONE" and len(parts) == 2:
+            cycles = int(parts[1])
+    return outputs, reductions, cycles

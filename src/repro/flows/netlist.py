@@ -1,0 +1,511 @@
+"""Structural netlists elaborated from generated Verilog, and their
+cycle simulation.
+
+:func:`elaborate` turns one parsed :class:`~repro.flows.verilog.VerilogModule`
+into a :class:`Netlist`: a signal table with widths, the continuous
+assignments in dependency (topological) order, and the clocked processes.
+:class:`NetlistSimulator` then advances the netlist one clock cycle at a
+time with Verilog semantics — continuous assigns settle combinationally,
+non-blocking assignments all read pre-edge state and commit together —
+which is what lets the pure-Python RTL backend reproduce exactly what an
+event-driven simulator would print for this subset.
+
+:func:`lint_module` runs the structural checks the satellite tests pin
+for every generated file: legal identifiers and balanced ``begin``/``end``
+come free with parsing; on top of that it checks that every referenced
+signal is declared *before* use and that no signal has two drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flows.numeric import as_signed, truncdiv
+from repro.flows.verilog import (
+    AlwaysBlock,
+    ArrayDecl,
+    ContinuousAssign,
+    Expr,
+    Instance,
+    NetDecl,
+    VerilogModule,
+    VerilogParseError,
+    parse_modules,
+)
+
+__all__ = [
+    "ElaborationError",
+    "Netlist",
+    "NetlistSimulator",
+    "elaborate",
+    "lint_module",
+    "lint_source",
+]
+
+
+class ElaborationError(ValueError):
+    """The module cannot be turned into a simulatable netlist."""
+
+
+def _isqrt(value: int) -> int:
+    import math
+
+    return math.isqrt(max(0, value))
+
+
+#: functional-unit cores the generator may reference for special opcodes
+_FUNCTIONAL_UNITS = {
+    "fu_sqrt": _isqrt,
+}
+
+
+# ----------------------------------------------------------------------
+# Elaboration
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Netlist:
+    """A flattened, simulatable view of one Verilog module."""
+
+    name: str
+    #: signal name -> width (ports, wires, regs; integers are 32 wide)
+    widths: dict[str, int]
+    #: array name -> (element width, size)
+    arrays: dict[str, tuple[int, int]]
+    #: simulation-only ``integer`` loop variables (not hardware state)
+    integers: frozenset[str]
+    inputs: list[str]
+    outputs: list[str]
+    #: continuous assignments in topological evaluation order
+    assigns: list[ContinuousAssign]
+    processes: list[AlwaysBlock]
+    instances: list[Instance]
+
+    def stats(self) -> dict:
+        """Cell-level statistics (the ``SynthFlow`` report payload)."""
+        assigned = {a.target for a in self.assigns}
+        reg_bits = sum(
+            width for name, width in self.widths.items()
+            if name not in assigned and name not in self.inputs
+            and name not in self.integers
+        )
+        array_bits = sum(width * size for width, size in self.arrays.values())
+        return {
+            "signals": len(self.widths) - len(self.integers),
+            "arrays": len(self.arrays),
+            "continuous_assigns": len(self.assigns),
+            "processes": len(self.processes),
+            "instances": len(self.instances),
+            "register_bits": reg_bits,
+            "delay_line_bits": array_bits,
+        }
+
+
+def _expr_identifiers(expr: Expr) -> set[str]:
+    kind = expr[0]
+    if kind == "const":
+        return set()
+    if kind == "id":
+        return {expr[1]}
+    if kind in ("index",):
+        return {expr[1]} | _expr_identifiers(expr[2])
+    if kind == "slice":
+        return {expr[1]}
+    if kind == "concat":
+        out: set[str] = set()
+        for part in expr[1]:
+            out |= _expr_identifiers(part)
+        return out
+    if kind in ("unary", "signed"):
+        return _expr_identifiers(expr[-1])
+    if kind == "binary":
+        return _expr_identifiers(expr[2]) | _expr_identifiers(expr[3])
+    if kind == "ternary":
+        return (_expr_identifiers(expr[1]) | _expr_identifiers(expr[2])
+                | _expr_identifiers(expr[3]))
+    if kind == "call":
+        out = set()
+        for part in expr[2]:
+            out |= _expr_identifiers(part)
+        return out
+    raise ElaborationError(f"unknown expression node {kind!r}")  # pragma: no cover
+
+
+def _toposort_assigns(assigns: list[ContinuousAssign]) -> list[ContinuousAssign]:
+    by_target = {a.target: a for a in assigns}
+    ordered: list[ContinuousAssign] = []
+    state: dict[str, int] = {}  # 0 visiting, 1 done
+
+    def visit(assign: ContinuousAssign) -> None:
+        mark = state.get(assign.target)
+        if mark == 1:
+            return
+        if mark == 0:
+            raise ElaborationError(
+                f"combinational loop through {assign.target!r}")
+        state[assign.target] = 0
+        for name in _expr_identifiers(assign.expr):
+            dep = by_target.get(name)
+            if dep is not None:
+                visit(dep)
+        state[assign.target] = 1
+        ordered.append(assign)
+
+    for assign in assigns:
+        visit(assign)
+    return ordered
+
+
+def elaborate(module: VerilogModule) -> Netlist:
+    """Flatten one module into a simulatable netlist."""
+    widths: dict[str, int] = {}
+    arrays: dict[str, tuple[int, int]] = {}
+    for port in module.ports:
+        widths[port.name] = port.width
+    for item in module.items:
+        if isinstance(item, NetDecl):
+            if item.name in widths or item.name in arrays:
+                raise ElaborationError(f"signal {item.name!r} declared twice")
+            widths[item.name] = item.width
+        elif isinstance(item, ArrayDecl):
+            if item.name in widths or item.name in arrays:
+                raise ElaborationError(f"signal {item.name!r} declared twice")
+            arrays[item.name] = (item.width, item.size)
+
+    assigns = _toposort_assigns(module.assigns)
+    return Netlist(
+        name=module.name,
+        widths=widths,
+        arrays=arrays,
+        integers=frozenset(
+            item.name for item in module.items
+            if isinstance(item, NetDecl) and item.net_kind == "integer"
+        ),
+        inputs=[p.name for p in module.inputs()],
+        outputs=[p.name for p in module.outputs()],
+        assigns=assigns,
+        processes=module.always_blocks,
+        instances=module.instances,
+    )
+
+
+# ----------------------------------------------------------------------
+# Simulation
+# ----------------------------------------------------------------------
+
+
+class NetlistSimulator:
+    """Two-phase (combinational settle, then clock edge) cycle simulation.
+
+    Registers and delay lines power up at zero — the deterministic
+    counterpart of an event-driven simulator's ``x`` state after the
+    generated testbench's reset-and-flush preamble.
+    """
+
+    def __init__(self, netlist: Netlist):
+        if netlist.instances:
+            raise ElaborationError(
+                f"module {netlist.name!r} instantiates sub-modules; the "
+                "pure-Python backend simulates leaf kernel modules")
+        self.netlist = netlist
+        self.values: dict[str, int] = {name: 0 for name in netlist.widths}
+        self.arrays: dict[str, list[int]] = {
+            name: [0] * size for name, (_, size) in netlist.arrays.items()
+        }
+        self._masks = {name: (1 << w) - 1 for name, w in netlist.widths.items()}
+        self._array_masks = {name: (1 << w) - 1
+                             for name, (w, _) in netlist.arrays.items()}
+
+    # -- expression evaluation ------------------------------------------
+    def _width_of(self, expr: Expr) -> int:
+        kind = expr[0]
+        if kind == "const":
+            return expr[2] or 32
+        if kind == "id":
+            return self.netlist.widths.get(expr[1], 32)
+        if kind == "index":
+            name = expr[1]
+            if name in self.netlist.arrays:
+                return self.netlist.arrays[name][0]
+            return 1
+        if kind == "slice":
+            return expr[2] - expr[3] + 1
+        if kind == "concat":
+            return sum(self._width_of(part) for part in expr[1])
+        if kind in ("unary", "signed"):
+            return self._width_of(expr[-1])
+        if kind in ("binary", "ternary"):
+            return max(self._width_of(expr[-2]), self._width_of(expr[-1]))
+        return 32
+
+    def _eval(self, expr: Expr, env: dict[str, int] | None = None) -> int:
+        kind = expr[0]
+        if kind == "const":
+            return expr[1]
+        if kind == "id":
+            name = expr[1]
+            if env is not None and name in env:
+                return env[name]
+            try:
+                return self.values[name]
+            except KeyError as exc:
+                raise ElaborationError(f"undriven signal {name!r}") from exc
+        if kind == "index":
+            name = expr[1]
+            index = self._eval(expr[2], env)
+            if name in self.arrays:
+                data = self.arrays[name]
+                return data[index] if 0 <= index < len(data) else 0
+            value = env[name] if env is not None and name in env else self.values[name]
+            return (value >> index) & 1
+        if kind == "slice":
+            _, name, msb, lsb = expr
+            value = env[name] if env is not None and name in env else self.values[name]
+            return (value >> lsb) & ((1 << (msb - lsb + 1)) - 1)
+        if kind == "concat":
+            value = 0
+            for part in expr[1]:
+                width = self._width_of(part)
+                value = (value << width) | (self._eval(part, env) & ((1 << width) - 1))
+            return value
+        if kind == "signed":
+            return self._eval(expr[1], env)
+        if kind == "unary":
+            op, inner = expr[1], expr[2]
+            value = self._eval(inner, env)
+            if op == "~":
+                width = self._width_of(inner)
+                return (~value) & ((1 << width) - 1)
+            if op == "-":
+                return -value
+            return 0 if value else 1  # '!'
+        if kind == "binary":
+            return self._eval_binary(expr, env)
+        if kind == "ternary":
+            return (self._eval(expr[2], env) if self._eval(expr[1], env)
+                    else self._eval(expr[3], env))
+        if kind == "call":
+            fn = _FUNCTIONAL_UNITS.get(expr[1])
+            if fn is None:
+                raise ElaborationError(
+                    f"unknown functional unit {expr[1]!r} (supported: "
+                    f"{sorted(_FUNCTIONAL_UNITS)})")
+            return fn(*[self._eval(a, env) for a in expr[2]])
+        raise ElaborationError(f"unknown expression node {kind!r}")  # pragma: no cover
+
+    def _eval_binary(self, expr: Expr, env: dict[str, int] | None) -> int:
+        _, op, left, right = expr
+        # signedness follows Verilog: a comparison/division/shift is
+        # signed only when its operands are $signed
+        if op in ("<", "<=", ">", ">=", "/", "%") and (
+                left[0] == "signed" or right[0] == "signed"):
+            a = as_signed(self._eval(left, env) & ((1 << self._width_of(left)) - 1),
+                                self._width_of(left))
+            b = as_signed(self._eval(right, env) & ((1 << self._width_of(right)) - 1),
+                                self._width_of(right))
+        else:
+            a = self._eval(left, env)
+            b = self._eval(right, env)
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "/":
+            return truncdiv(a, b)
+        if op == "%":
+            if b == 0:
+                return 0
+            return a - b * truncdiv(a, b)
+        if op == "&":
+            return a & b
+        if op == "|":
+            return a | b
+        if op == "^":
+            return a ^ b
+        if op == "&&":
+            return 1 if (a and b) else 0
+        if op == "||":
+            return 1 if (a or b) else 0
+        if op == "==":
+            return 1 if a == b else 0
+        if op == "!=":
+            return 1 if a != b else 0
+        if op == "<":
+            return 1 if a < b else 0
+        if op == "<=":
+            return 1 if a <= b else 0
+        if op == ">":
+            return 1 if a > b else 0
+        if op == ">=":
+            return 1 if a >= b else 0
+        if op == "<<":
+            return a << b
+        if op == ">>":
+            return a >> b if a >= 0 else (a & ((1 << 64) - 1)) >> b
+        if op == ">>>":
+            if left[0] == "signed":
+                a = as_signed(a & ((1 << self._width_of(left)) - 1),
+                                    self._width_of(left))
+                return a >> b
+            return a >> b
+        raise ElaborationError(f"unknown operator {op!r}")  # pragma: no cover
+
+    # -- statement interpretation ---------------------------------------
+    def _run_statements(self, statements, env: dict[str, int], nba: list) -> None:
+        for stmt in statements:
+            kind = stmt[0]
+            if kind == "nba":
+                target, rhs = stmt[1], stmt[2]
+                value = self._eval(rhs, env)
+                if target[0] == "id":
+                    nba.append((target[1], None, value))
+                else:  # ("index", name, index_expr)
+                    nba.append((target[1], self._eval(target[2], env), value))
+            elif kind == "blocking":
+                env[stmt[1]] = self._eval(stmt[2], env)
+            elif kind == "if":
+                branch = stmt[2] if self._eval(stmt[1], env) else stmt[3]
+                self._run_statements(branch, env, nba)
+            elif kind == "for":
+                init, cond, update, body = stmt[1], stmt[2], stmt[3], stmt[4]
+                env[init[1]] = self._eval(init[2], env)
+                guard = 0
+                while self._eval(cond, env):
+                    self._run_statements(body, env, nba)
+                    env[update[1]] = self._eval(update[2], env)
+                    guard += 1
+                    if guard > 1_000_000:  # pragma: no cover - defensive
+                        raise ElaborationError("runaway for loop")
+            else:  # pragma: no cover - defensive
+                raise ElaborationError(f"unknown statement {kind!r}")
+
+    # -- public stepping -------------------------------------------------
+    def settle(self) -> None:
+        """Propagate the continuous assignments (combinational settle)."""
+        for assign in self.netlist.assigns:
+            width_mask = self._masks.get(assign.target)
+            if width_mask is None:
+                raise ElaborationError(f"assignment to undeclared {assign.target!r}")
+            self.values[assign.target] = self._eval(assign.expr) & width_mask
+
+    def step(self, inputs: dict[str, int]) -> dict[str, int]:
+        """Advance one clock cycle.
+
+        Applies ``inputs``, settles the combinational network, samples
+        every output port (the values an observer sees *during* this
+        cycle) and then performs the clock edge.  Returns the sampled
+        outputs.
+        """
+        for name, value in inputs.items():
+            if name not in self.values:
+                raise ElaborationError(f"unknown input {name!r}")
+            self.values[name] = value & self._masks[name]
+        self.settle()
+        sampled = {name: self.values[name] for name in self.netlist.outputs}
+
+        # clock edge: every process evaluates against pre-edge state, all
+        # non-blocking assignments commit together
+        nba: list[tuple[str, int | None, int]] = []
+        for process in self.netlist.processes:
+            env: dict[str, int] = {}
+            self._run_statements(process.statements, env, nba)
+        for name, index, value in nba:
+            if index is None:
+                self.values[name] = value & self._masks[name]
+            else:
+                data = self.arrays[name]
+                if 0 <= index < len(data):
+                    data[index] = value & self._array_masks[name]
+        return sampled
+
+
+# ----------------------------------------------------------------------
+# Structural lint
+# ----------------------------------------------------------------------
+
+
+def lint_module(module: VerilogModule) -> list[str]:
+    """Structural checks over one parsed module; returns violations.
+
+    Parsing already guarantees legal identifiers and balanced
+    ``begin``/``end``; this adds declared-before-use and single-driver
+    checks in source order, which is what catches a generator emitting a
+    wire below its first consumer.
+    """
+    problems: list[str] = []
+    declared: set[str] = {p.name for p in module.ports}
+    drivers: dict[str, int] = {}
+
+    def check_uses(expr: Expr, where: str) -> None:
+        for name in sorted(_expr_identifiers(expr)):
+            if name not in declared:
+                problems.append(f"{module.name}: {where} uses undeclared {name!r}")
+
+    def note_driver(name: str, where: str) -> None:
+        drivers[name] = drivers.get(name, 0) + 1
+        if drivers[name] == 2:
+            problems.append(f"{module.name}: {name!r} has multiple drivers ({where})")
+
+    def scan_statements(statements, where: str, nba_targets: set[str]) -> None:
+        for stmt in statements:
+            kind = stmt[0]
+            if kind == "nba":
+                target, rhs = stmt[1], stmt[2]
+                check_uses(rhs, where)
+                if target[0] == "index":
+                    check_uses(stmt[1][2], where)
+                nba_targets.add(target[1])
+                if target[1] not in declared:
+                    problems.append(
+                        f"{module.name}: {where} assigns undeclared {target[1]!r}")
+            elif kind == "blocking":
+                check_uses(stmt[2], where)
+            elif kind == "if":
+                check_uses(stmt[1], where)
+                scan_statements(stmt[2], where, nba_targets)
+                scan_statements(stmt[3], where, nba_targets)
+            elif kind == "for":
+                check_uses(stmt[1][2], where)
+                check_uses(stmt[2], where)
+                check_uses(stmt[3][2], where)
+                scan_statements(stmt[4], where, nba_targets)
+
+    for item in module.items:
+        if isinstance(item, NetDecl) or isinstance(item, ArrayDecl):
+            if item.name in declared:
+                problems.append(f"{module.name}: {item.name!r} declared twice")
+            declared.add(item.name)
+        elif isinstance(item, ContinuousAssign):
+            check_uses(item.expr, f"assign to {item.target!r}")
+            if item.target not in declared:
+                problems.append(
+                    f"{module.name}: assignment to undeclared {item.target!r}")
+            note_driver(item.target, "continuous assign")
+        elif isinstance(item, AlwaysBlock):
+            where = f"always block at line {item.line}"
+            targets: set[str] = set()
+            scan_statements(item.statements, where, targets)
+            # a signal may be assigned several times inside ONE process
+            # (reset/else branches); a second *process* or a continuous
+            # assign driving it is a race
+            for name in sorted(targets):
+                note_driver(name, where)
+        elif isinstance(item, Instance):
+            for port, expr in item.connections:
+                check_uses(expr, f"instance {item.name!r} port .{port}")
+    return problems
+
+
+def lint_source(source: str) -> list[str]:
+    """Parse and lint Verilog source; parse errors become violations."""
+    try:
+        modules = parse_modules(source)
+    except VerilogParseError as exc:
+        return [str(exc)]
+    problems: list[str] = []
+    for module in modules:
+        problems.extend(lint_module(module))
+    return problems

@@ -1,0 +1,31 @@
+"""Shared bit-level numeric helpers of the RTL backend.
+
+The netlist simulator and the IR reference model are required to agree
+bit for bit; the primitives they share — width masking, two's-complement
+reinterpretation, Verilog-style truncating division — live here so a fix
+to one side can never silently desynchronise the other.
+"""
+
+from __future__ import annotations
+
+__all__ = ["mask", "as_signed", "truncdiv"]
+
+
+def mask(value: int, width: int) -> int:
+    """Truncate to ``width`` bits (what assignment to a net does)."""
+    return value & ((1 << width) - 1)
+
+
+def as_signed(value: int, width: int) -> int:
+    """Reinterpret a ``width``-bit pattern as two's complement."""
+    value = mask(value, width)
+    return value - (1 << width) if value >= 1 << (width - 1) else value
+
+
+def truncdiv(a: int, b: int) -> int:
+    """Verilog division: truncates toward zero; the generated dividers
+    are zero-guarded, so divide-by-zero yields 0."""
+    if b == 0:
+        return 0
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient

@@ -1,0 +1,75 @@
+"""External EDA tool discovery and invocation.
+
+The pure-Python RTL backend needs nothing installed; the optional
+adapters (iverilog, verilator, yosys) are discovered on ``PATH`` at use
+time and skipped cleanly when absent — a flow asking for a missing tool
+gets a :class:`ToolUnavailableError` it can turn into a skip, never a
+crash deep inside ``subprocess``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+from dataclasses import dataclass
+
+__all__ = [
+    "ToolUnavailableError",
+    "ToolResult",
+    "find_tool",
+    "require_tool",
+    "run_tool",
+    "available_tools",
+]
+
+#: the external tools the optional adapters know how to drive
+KNOWN_TOOLS = ("iverilog", "vvp", "verilator", "yosys")
+
+
+class ToolUnavailableError(RuntimeError):
+    """The requested external tool is not on PATH."""
+
+    def __init__(self, tool: str):
+        super().__init__(
+            f"external tool {tool!r} not found on PATH; install it or use "
+            "the pure-Python backend")
+        self.tool = tool
+
+
+@dataclass(frozen=True)
+class ToolResult:
+    argv: tuple
+    returncode: int
+    stdout: str
+    stderr: str
+
+    @property
+    def ok(self) -> bool:
+        return self.returncode == 0
+
+
+def find_tool(name: str) -> str | None:
+    """Absolute path of an external tool, or None when absent."""
+    return shutil.which(name)
+
+
+def require_tool(name: str) -> str:
+    path = find_tool(name)
+    if path is None:
+        raise ToolUnavailableError(name)
+    return path
+
+
+def run_tool(argv: list[str], cwd=None, timeout: float = 300.0) -> ToolResult:
+    """Run one external tool invocation, capturing its output."""
+    completed = subprocess.run(
+        argv, cwd=cwd, timeout=timeout, capture_output=True, text=True,
+        check=False,
+    )
+    return ToolResult(tuple(argv), completed.returncode,
+                      completed.stdout, completed.stderr)
+
+
+def available_tools() -> dict[str, str | None]:
+    """Discovery report over every known external tool."""
+    return {name: find_tool(name) for name in KNOWN_TOOLS}

@@ -96,6 +96,7 @@ class FunctionBuilder:
         result_type: ScalarType,
         *operands,
         result: str | None = None,
+        predicate: str | None = None,
     ) -> str:
         """Append a datapath instruction and return the result name."""
         name = (result or self._next_name()).lstrip("%@")
@@ -106,6 +107,7 @@ class FunctionBuilder:
             opcode=opcode,
             operands=[self._as_operand(o) for o in operands],
             result_is_global=is_global,
+            predicate=predicate,
         )
         self.function.body.append(inst)
         return name
@@ -164,6 +166,11 @@ class FunctionBuilder:
 
     def div(self, result_type: ScalarType, a, b, result: str | None = None) -> str:
         return self.instr("div", result_type, a, b, result=result)
+
+    def icmp(self, result_type: ScalarType, a, b, predicate: str = "lt",
+             result: str | None = None) -> str:
+        return self.instr("icmp", result_type, a, b, result=result,
+                          predicate=predicate)
 
 
 class IRBuilder:

@@ -47,9 +47,11 @@ def _statement_tokens(stmt) -> bytes:
         return _token("off", stmt.result, stmt.result_type, stmt.source, stmt.offset)
     if isinstance(stmt, Instruction):
         ops = ",".join(str(o) for o in stmt.operands)
+        # qualified_opcode keeps predicate-free instructions hashing exactly
+        # as before, so existing persisted cache entries stay valid
         return _token(
             "ins", stmt.result, int(stmt.result_is_global), stmt.result_type,
-            stmt.opcode, ops,
+            stmt.qualified_opcode, ops,
         )
     if isinstance(stmt, CallInstruction):
         return _token("call", stmt.callee, ",".join(stmt.args), stmt.kind or "")

@@ -36,6 +36,8 @@ __all__ = [
     "Operand",
     "OpcodeInfo",
     "OPCODES",
+    "COMPARE_PREDICATES",
+    "decode_predicate",
     "opcode_info",
     "Instruction",
     "OffsetInstruction",
@@ -201,9 +203,43 @@ def opcode_info(name: str) -> OpcodeInfo:
         raise IRTypeError(f"unknown opcode {name!r}") from exc
 
 
+#: comparison predicates accepted by ``icmp``/``fcmp``.  The bare forms take
+#: their signedness from the operand type; the ``u``/``s`` prefixed forms pin
+#: it explicitly (LLVM style).  ``lt`` is the historical default: an ``icmp``
+#: without a predicate compares with ``<``.
+COMPARE_PREDICATES = frozenset(
+    ["eq", "ne", "lt", "le", "gt", "ge",
+     "ult", "ule", "ugt", "uge", "slt", "sle", "sgt", "sge"]
+)
+
+#: opcodes that may carry a comparison predicate
+_PREDICATED_OPCODES = ("icmp", "fcmp")
+
+
+def decode_predicate(predicate: str | None, signed_default: bool) -> tuple[bool, str]:
+    """Resolve a comparison predicate to ``(signed, base relation)``.
+
+    ``base`` is one of eq/ne/lt/le/gt/ge; bare predicates take their
+    signedness from ``signed_default`` (the operand type), the ``u``/``s``
+    prefixed forms pin it.  One decoder shared by the Verilog generator
+    and the Python reference model — the two must agree bit for bit.
+    """
+    pred = predicate or "lt"
+    if pred in ("eq", "ne", "lt", "le", "gt", "ge"):
+        return signed_default, pred
+    if pred[0] == "u":
+        return False, pred[1:]
+    return True, pred[1:]  # s-prefixed
+
+
 @dataclass
 class Instruction:
-    """A datapath SSA instruction (``%res = opcode type %a, %b``)."""
+    """A datapath SSA instruction (``%res = opcode type %a, %b``).
+
+    Comparison instructions (``icmp``/``fcmp``) may carry a ``predicate``
+    naming the comparison relation (``icmp.eq``, ``icmp.sge`` ... in the
+    concrete syntax); without one they compare with the historical ``lt``.
+    """
 
     result: str
     result_type: ScalarType
@@ -211,10 +247,22 @@ class Instruction:
     operands: list[Operand] = field(default_factory=list)
     #: True if the result is a module-level global (reduction accumulator)
     result_is_global: bool = False
+    #: comparison predicate for icmp/fcmp (None = default ``lt``)
+    predicate: str | None = None
 
     def __post_init__(self) -> None:
         self.result = self.result.lstrip("%@")
         opcode_info(self.opcode)  # raises for unknown opcodes
+        if self.predicate is not None:
+            if self.opcode not in _PREDICATED_OPCODES:
+                raise IRTypeError(
+                    f"opcode {self.opcode!r} cannot carry a comparison predicate"
+                )
+            if self.predicate not in COMPARE_PREDICATES:
+                raise IRTypeError(
+                    f"unknown comparison predicate {self.predicate!r}; "
+                    f"expected one of {sorted(COMPARE_PREDICATES)}"
+                )
 
     @property
     def info(self) -> OpcodeInfo:
@@ -237,10 +285,18 @@ class Instruction:
     def uses(self, name: str) -> bool:
         return name in self.input_names
 
+    @property
+    def qualified_opcode(self) -> str:
+        """The opcode with its predicate suffix (``icmp.eq``), if any."""
+        return f"{self.opcode}.{self.predicate}" if self.predicate else self.opcode
+
     def __str__(self) -> str:
         sigil = "@" if self.result_is_global else "%"
         ops = ", ".join(str(o) for o in self.operands)
-        return f"{self.result_type} {sigil}{self.result} = {self.opcode} {self.result_type} {ops}"
+        return (
+            f"{self.result_type} {sigil}{self.result} = "
+            f"{self.qualified_opcode} {self.result_type} {ops}"
+        )
 
 
 @dataclass

@@ -82,7 +82,8 @@ _RE_OFFSET = re.compile(
     r"\s*!offset\s*,\s*!(?P<off>[^\s].*)$"
 )
 _RE_INSTR = re.compile(
-    r"^(?P<rtype>[\w.]+)\s+(?P<sigil>[%@])(?P<res>[\w.]+)\s*=\s*(?P<opcode>[a-z_]+)\s+"
+    r"^(?P<rtype>[\w.]+)\s+(?P<sigil>[%@])(?P<res>[\w.]+)\s*=\s*"
+    r"(?P<opcode>[a-z_]+)(?:\.(?P<pred>[a-z]+))?\s+"
     r"(?P<otype>[\w.]+)\s+(?P<operands>.+)$"
 )
 _RE_CALL = re.compile(
@@ -181,6 +182,7 @@ def _parse_body_line(line: str, lineno: int):
             opcode=m.group("opcode"),
             operands=operands,
             result_is_global=m.group("sigil") == "@",
+            predicate=m.group("pred"),
         )
     raise IRParseError(f"cannot parse statement {line!r}", lineno)
 

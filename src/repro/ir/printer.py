@@ -29,7 +29,7 @@ def format_statement(stmt) -> str:
         ops = ", ".join(str(o) for o in stmt.operands)
         return (
             f"{stmt.result_type} {sigil}{stmt.result} = "
-            f"{stmt.opcode} {stmt.result_type} {ops}"
+            f"{stmt.qualified_opcode} {stmt.result_type} {ops}"
         )
     if isinstance(stmt, CallInstruction):
         args = ", ".join(f"%{a}" for a in stmt.args)

@@ -143,6 +143,15 @@ class PipelineSpec:
         return self.cycles_per_instruction * max(1, self.instructions)
 
     @property
+    def cycle_agreement_bound(self) -> int:
+        """One pipeline depth plus one issue interval: the documented
+        bound within which independent executions of this spec (the
+        analytic mode, the cycle-stepping mode, and — via
+        :mod:`repro.flows` — the RTL simulation of the generated
+        datapath) must agree on a kernel instance's cycle count."""
+        return self.pipeline_depth + self.issue_interval_cycles
+
+    @property
     def ideal_items_per_cycle(self) -> float:
         """Work-items retired per cycle with no memory stalls."""
         if self.issue_interval_cycles == 1:

@@ -27,6 +27,8 @@ __all__ = [
     "golden_config",
     "golden_dir",
     "run_golden_suite",
+    "write_kernel_goldens",
+    "diff_kernel_goldens",
     "record_goldens",
     "check_goldens",
 ]
@@ -55,12 +57,13 @@ def run_golden_suite(kernels: tuple[str, ...] = ()) -> SuiteReport:
     return WorkloadSuite(golden_config(kernels)).run().report
 
 
-def record_goldens(directory: Path | str | None = None,
-                   kernels: tuple[str, ...] = ()) -> list[Path]:
-    """(Re-)write one golden JSON per kernel; returns the written paths."""
-    directory = golden_dir(directory)
+def write_kernel_goldens(report: SuiteReport, directory: Path) -> list[Path]:
+    """One canonical JSON file per kernel of ``report``; returns paths.
+
+    The shared write half of every golden harness (suite, validation,
+    flows) — each pins its own report flavour through the same layout.
+    """
     directory.mkdir(parents=True, exist_ok=True)
-    report = run_golden_suite(kernels)
     written = []
     for name in sorted(report.kernels):
         path = directory / f"{name}.json"
@@ -69,26 +72,37 @@ def record_goldens(directory: Path | str | None = None,
     return written
 
 
-def check_goldens(directory: Path | str | None = None,
-                  kernels: tuple[str, ...] = (),
-                  rtol: float = 0.0) -> dict[str, list[FieldDiff]]:
-    """Re-run the pipeline and diff against the recorded goldens.
+def diff_kernel_goldens(report: SuiteReport, directory: Path, schema: str,
+                        missing_hint: str,
+                        rtol: float = 0.0) -> dict[str, list[FieldDiff]]:
+    """Diff a fresh report against per-kernel goldens in ``directory``.
 
-    Returns ``{kernel: [diffs...]}`` — empty diff lists mean the model
-    still reproduces the pinned reports.  A missing golden file is
-    reported as a single ``removed`` diff so new kernels cannot slip in
-    unpinned.
+    Returns ``{kernel: [diffs...]}`` — empty diff lists mean the pinned
+    reports are still reproduced.  A missing golden file is reported as a
+    single ``removed`` diff (with ``missing_hint`` naming the recording
+    command) so new kernels cannot slip in unpinned.
     """
-    directory = golden_dir(directory)
-    report = run_golden_suite(kernels)
     results: dict[str, list[FieldDiff]] = {}
     for name in sorted(report.kernels):
         path = directory / f"{name}.json"
         if not path.exists():
-            results[name] = [FieldDiff(str(path), "removed",
-                                       left="golden file missing — run "
-                                            "`suite record-golden`")]
+            results[name] = [FieldDiff(str(path), "removed", left=missing_hint)]
             continue
-        golden = load_report(path, expected_schema=SCHEMA)
+        golden = load_report(path, expected_schema=schema)
         results[name] = diff_payloads(golden, report.kernel_payload(name), rtol=rtol)
     return results
+
+
+def record_goldens(directory: Path | str | None = None,
+                   kernels: tuple[str, ...] = ()) -> list[Path]:
+    """(Re-)write one golden JSON per kernel; returns the written paths."""
+    return write_kernel_goldens(run_golden_suite(kernels), golden_dir(directory))
+
+
+def check_goldens(directory: Path | str | None = None,
+                  kernels: tuple[str, ...] = (),
+                  rtol: float = 0.0) -> dict[str, list[FieldDiff]]:
+    """Re-run the pipeline and diff against the recorded goldens."""
+    return diff_kernel_goldens(
+        run_golden_suite(kernels), golden_dir(directory), SCHEMA,
+        "golden file missing — run `suite record-golden`", rtol=rtol)

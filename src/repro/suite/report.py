@@ -26,6 +26,7 @@ from pathlib import Path
 __all__ = [
     "SCHEMA",
     "VALIDATION_SCHEMA",
+    "FLOW_SCHEMA",
     "KNOWN_SCHEMAS",
     "FLOAT_SIGNIFICANT_DIGITS",
     "canonicalize",
@@ -40,8 +41,11 @@ SCHEMA = "repro-suite-report/1"
 #: schema stamp of the cross-validation report layout (see :mod:`repro.validate`)
 VALIDATION_SCHEMA = "repro-validation-report/1"
 
+#: schema stamp of the RTL flow report layout (see :mod:`repro.flows`)
+FLOW_SCHEMA = "repro-flow-report/1"
+
 #: every canonical-report layout this codebase knows how to load and diff
-KNOWN_SCHEMAS = (SCHEMA, VALIDATION_SCHEMA)
+KNOWN_SCHEMAS = (SCHEMA, VALIDATION_SCHEMA, FLOW_SCHEMA)
 
 #: significant digits kept for floats in canonical payloads
 FLOAT_SIGNIFICANT_DIGITS = 9

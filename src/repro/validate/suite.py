@@ -19,14 +19,13 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.explore.engine import SweepResult
-from repro.suite.diff import FieldDiff, diff_payloads
-from repro.suite.golden import golden_config
-from repro.suite.report import (
-    VALIDATION_SCHEMA,
-    SuiteReport,
-    canonical_json,
-    load_report,
+from repro.suite.diff import FieldDiff
+from repro.suite.golden import (
+    diff_kernel_goldens,
+    golden_config,
+    write_kernel_goldens,
 )
+from repro.suite.report import VALIDATION_SCHEMA, SuiteReport
 from repro.suite.runner import SuiteConfig, WorkloadSuite
 from repro.validate.crossval import (
     DEFAULT_MEMORY_TOLERANCE,
@@ -224,31 +223,16 @@ def run_golden_validation(kernels: tuple[str, ...] = ()) -> ValidationReport:
 def record_validation_goldens(directory: Path | str | None = None,
                               kernels: tuple[str, ...] = ()) -> list[Path]:
     """(Re-)write one validation golden per kernel; returns written paths."""
-    directory = validation_golden_dir(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    report = run_golden_validation(kernels)
-    written = []
-    for name in sorted(report.kernels):
-        path = directory / f"{name}.json"
-        path.write_text(canonical_json(report.kernel_payload(name)))
-        written.append(path)
-    return written
+    return write_kernel_goldens(run_golden_validation(kernels),
+                                validation_golden_dir(directory))
 
 
 def check_validation_goldens(directory: Path | str | None = None,
                              kernels: tuple[str, ...] = (),
                              rtol: float = 0.0) -> dict[str, list[FieldDiff]]:
     """Re-run the cross-validation and diff against the recorded goldens."""
-    directory = validation_golden_dir(directory)
-    report = run_golden_validation(kernels)
-    results: dict[str, list[FieldDiff]] = {}
-    for name in sorted(report.kernels):
-        path = directory / f"{name}.json"
-        if not path.exists():
-            results[name] = [FieldDiff(str(path), "removed",
-                                       left="validation golden missing — run "
-                                            "`suite record-golden --validation`")]
-            continue
-        golden = load_report(path, expected_schema=VALIDATION_SCHEMA)
-        results[name] = diff_payloads(golden, report.kernel_payload(name), rtol=rtol)
-    return results
+    return diff_kernel_goldens(
+        run_golden_validation(kernels), validation_golden_dir(directory),
+        VALIDATION_SCHEMA,
+        "validation golden missing — run `suite record-golden --validation`",
+        rtol=rtol)

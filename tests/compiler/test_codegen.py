@@ -31,21 +31,36 @@ class TestVerilogKernel:
         # reduction register output
         assert "output reg  [17:0] g_errAcc" in text
 
-    def test_offset_buffers_emitted(self, generator, stencil_module):
+    def test_offset_buffers_aligned_to_window(self, generator, stencil_module):
         text = generator.generate_kernel(stencil_module.get_function("f0"))
-        # the ND1*ND2 = 64-deep offset buffer becomes a delay line
-        assert "offbuf_pkn1 [0:63]" in text
-        assert "offbuf_pip1 [0:0]" in text
+        geometry = generator.geometry("f0")
+        assert geometry.window == 1  # the +1 offset sets the window
+        # the +1 offset aligns to a plain wire (delay window - 1 = 0)
+        assert "wire [17:0] w_pip1 = s_p;" in text
+        # the -ND1*ND2 = -64 offset needs a window+64 = 65 deep delay line
+        assert "offbuf_pkn1 [0:64]" in text
+        # base streams are delayed by the window so all operands align
+        assert "argbuf_p [0:0]" in text
 
     def test_datapath_expressions(self, generator, stencil_module):
         text = generator.generate_kernel(stencil_module.get_function("f0"))
         assert re.search(r"r_v1 <= w_pip1 \* 18'd3", text)
-        assert re.search(r"r_p_new <= w_\w+ - w_p", text)
+        # the subtrahend %p is balanced through a delay line to the
+        # consumer's schedule stage
+        assert re.search(r"r_p_new <= w_\w+ - w_p_d\d+", text)
 
-    def test_valid_shift_register_matches_depth(self, generator, stencil_module):
-        depth = generator.schedules["f0"].pipeline_depth
+    def test_instruction_latency_becomes_register_stages(self, generator, stencil_module):
         text = generator.generate_kernel(stencil_module.get_function("f0"))
-        assert f"assign out_valid = valid_sr[{depth}];" in text
+        # mul has latency 3: two extra pipeline stages follow the result reg
+        assert "reg [17:0] r_v1_p1;" in text
+        assert "reg [17:0] r_v1_p2;" in text
+        assert "wire [17:0] w_v1 = r_v1_p2;" in text
+
+    def test_out_valid_tracks_rtl_latency(self, generator, stencil_module):
+        geometry = generator.geometry("f0")
+        text = generator.generate_kernel(stencil_module.get_function("f0"))
+        assert f"assign out_valid = valid_sr[{geometry.out_valid_index}];" in text
+        assert geometry.latency == geometry.window + geometry.datapath_depth
 
     def test_unscheduled_function_rejected(self, generator, stencil_module):
         with pytest.raises(ValueError):
@@ -63,6 +78,70 @@ class TestVerilogKernel:
         assert "r_v1" in text  # numeric SSA names get a 'v' prefix
 
 
+def _compare_module(predicate, type_=UI18):
+    b = IRBuilder("cmp")
+    f = b.function("f0", kind="pipe", args=[(type_, "a"), (type_, "b")])
+    f.instr("icmp", type_, f.arg("a"), f.arg("b"), result="c", predicate=predicate)
+    f.add(type_, "c", 1, result="out")
+    b.port("f0", "out", type_, direction="ostream")
+    main = b.function("main", kind="none")
+    main.call("f0", ["a", "b"], kind="pipe")
+    return b.build()
+
+
+class TestComparePredicates:
+    """Regression for the `_COMPARE_OPERATORS` bug: icmp/fcmp always
+    emitted `<` regardless of the comparison predicate."""
+
+    @pytest.mark.parametrize("predicate, operator", [
+        ("eq", "=="), ("ne", "!="), ("lt", "<"), ("le", "<="),
+        ("gt", ">"), ("ge", ">="),
+    ])
+    def test_predicate_selects_operator(self, predicate, operator):
+        module = _compare_module(predicate)
+        text = VerilogGenerator(module).generate_kernel(module.get_function("f0"))
+        assert f"(w_a {operator} w_b) ? 1'b1 : 1'b0" in text
+
+    def test_default_predicate_stays_less_than(self):
+        module = _compare_module(None)
+        text = VerilogGenerator(module).generate_kernel(module.get_function("f0"))
+        assert "(w_a < w_b) ? 1'b1 : 1'b0" in text
+
+    @pytest.mark.parametrize("predicate", ["slt", "sge"])
+    def test_explicit_signed_predicates_wrap_operands(self, predicate):
+        module = _compare_module(predicate)
+        text = VerilogGenerator(module).generate_kernel(module.get_function("f0"))
+        assert "$signed(w_a)" in text and "$signed(w_b)" in text
+
+    @pytest.mark.parametrize("predicate", ["ult", "uge"])
+    def test_explicit_unsigned_predicates_stay_plain(self, predicate):
+        module = _compare_module(predicate)
+        text = VerilogGenerator(module).generate_kernel(module.get_function("f0"))
+        assert "$signed" not in text
+
+    def test_signed_type_implies_signed_compare(self):
+        module = _compare_module("lt", type_=ScalarType.int_(18))
+        text = VerilogGenerator(module).generate_kernel(module.get_function("f0"))
+        assert "($signed(w_a) < $signed(w_b)) ? 1'b1 : 1'b0" in text
+
+    def test_predicate_semantics_through_rtl_simulation(self):
+        # the generated comparison must *behave* per predicate, not just
+        # print the right operator
+        from repro.flows import elaborate, parse_module_text, NetlistSimulator
+
+        for predicate, fn in [("eq", lambda a, b: a == b),
+                              ("ne", lambda a, b: a != b),
+                              ("ge", lambda a, b: a >= b)]:
+            module = _compare_module(predicate)
+            text = VerilogGenerator(module).generate_kernel(module.get_function("f0"))
+            sim = NetlistSimulator(elaborate(parse_module_text(text)))
+            for a, b in [(3, 3), (2, 5), (7, 1)]:
+                # hold the inputs until the two-stage pipeline settles
+                for _ in range(4):
+                    out = sim.step({"s_a": a, "s_b": b, "in_valid": 1, "rst": 0})
+                assert out["s_out"] == int(fn(a, b)) + 1, (predicate, a, b)
+
+
 class TestComputeUnitAndConfig:
     def test_compute_unit_replicates_lanes(self):
         module = build_stencil_module(lanes=4)
@@ -76,6 +155,8 @@ class TestComputeUnitAndConfig:
         assert "`define TYTRA_LANES 1" in text
         assert "`define TYTRA_NOFF 64" in text
         assert "`define TYTRA_NI 6" in text
+        assert "`define TYTRA_WINDOW 1" in text
+        assert "`define TYTRA_RTL_LATENCY 7" in text
 
     def test_generate_all_files(self):
         module = build_stencil_module(lanes=2)

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.compiler.codegen.testbench import generate_testbench
+from repro.compiler.codegen.testbench import (
+    DEFAULT_STIMULUS_SEED,
+    generate_testbench,
+    parse_result_lines,
+    stimulus_words,
+    stream_seed,
+)
 from repro.kernels import SORKernel
 
 from tests.conftest import build_stencil_module
@@ -21,8 +27,6 @@ class TestTestbenchGeneration:
 
     def test_run_length_includes_pipeline_drain(self, stencil_module):
         tb = generate_testbench(stencil_module, n_items=100)
-        # the termination count must exceed the number of items (drain margin)
-        assert "cycle == 1" not in tb.split("$finish")[0].splitlines()[-1]
         assert "if (cycle == " in tb
         count = int(tb.split("if (cycle == ")[1].split(")")[0])
         assert count > 100
@@ -47,7 +51,63 @@ class TestTestbenchGeneration:
         with pytest.raises(ValueError):
             generate_testbench(stencil_module, n_items=0)
 
-    def test_output_logging_present(self, stencil_module):
+    def test_machine_parsable_result_lines(self, stencil_module):
         tb = generate_testbench(stencil_module)
-        assert "$display(\"cycle %0d: p_new=%0d\"" in tb
-        assert 'reduction errAcc' in tb
+        assert '$display("RESULT p_new %0d %h", out_index, s_p_new);' in tb
+        assert '$display("REDUCTION errAcc %h", g_errAcc);' in tb
+        assert '$display("DONE %0d", cycle);' in tb
+
+    def test_output_port_width_follows_port_declaration(self, stencil_module):
+        tb = generate_testbench(stencil_module)
+        assert "wire [17:0] s_p_new;" in tb
+
+
+class TestSeededStimulus:
+    def test_seed_is_baked_into_the_source(self, stencil_module):
+        tb = generate_testbench(stencil_module, seed=0xBEEF)
+        assert f"32'h{stream_seed(0xBEEF, 0):08x}" in tb
+        assert f"32'h{stream_seed(0xBEEF, 1):08x}" in tb
+        assert "lcg_p * 32'd1664525 + 32'd1013904223" in tb
+
+    def test_different_seeds_differ(self, stencil_module):
+        left = generate_testbench(stencil_module, seed=1)
+        right = generate_testbench(stencil_module, seed=2)
+        assert left != right
+
+    def test_same_seed_is_deterministic(self, stencil_module):
+        assert generate_testbench(stencil_module) == generate_testbench(
+            stencil_module, seed=DEFAULT_STIMULUS_SEED)
+
+    def test_stimulus_words_masked_to_width(self):
+        words = stimulus_words(0, 0, 100, 18)
+        assert all(0 <= w < (1 << 18) for w in words)
+        # different streams decorrelate
+        assert stimulus_words(0, 0, 10, 18) != stimulus_words(0, 1, 10, 18)
+
+    def test_tail_drives_zero(self, stencil_module):
+        tb = generate_testbench(stencil_module, n_items=16)
+        # after the last item the streams are zeroed, making boundary
+        # windows deterministic for any simulator
+        tail = tb.split("end else begin", 2)[2]
+        assert "s_p <= 0;" in tail
+
+
+class TestResultParsing:
+    def test_round_trip(self):
+        text = "\n".join([
+            "noise",
+            "RESULT p_new 0 3f",
+            "RESULT p_new 1 0a",
+            "REDUCTION errAcc 1f4",
+            "DONE 123",
+        ])
+        outputs, reductions, cycles = parse_result_lines(text)
+        assert outputs == {"p_new": {0: 0x3F, 1: 0x0A}}
+        assert reductions == {"errAcc": 0x1F4}
+        assert cycles == 123
+
+    def test_x_values_parse_to_none(self):
+        outputs, reductions, _ = parse_result_lines(
+            "RESULT p_new 0 xxxx\nREDUCTION acc xz")
+        assert outputs["p_new"][0] is None
+        assert reductions["acc"] is None

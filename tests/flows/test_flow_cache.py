@@ -1,0 +1,93 @@
+"""Flow-result caching: content-keyed hits, misses and invalidation."""
+
+from repro.cost.cache import redirected_cache_dir
+from repro.flows import FlowSettings, RTLSimFlow
+from repro.kernels import get_kernel
+from repro.suite.runner import tiny_grid
+
+
+def _module(lanes: int = 1):
+    kernel = get_kernel("nw")
+    return kernel.build_module(lanes=lanes, grid=tiny_grid(kernel.default_grid))
+
+
+def _flow(module, tmp_root=None, **settings):
+    return RTLSimFlow(module, FlowSettings(run_root=tmp_root, n_items=32, **settings))
+
+
+class TestFlowCache:
+    def test_first_run_misses_second_hits(self, tmp_path):
+        with redirected_cache_dir(tmp_path / "cache"):
+            first = _flow(_module()).run()
+            second = _flow(_module()).run()
+        assert first.cached is False
+        assert second.cached is True
+        assert second.payload == first.payload
+        # a cache hit must be dramatically cheaper than the simulation
+        assert second.wall_seconds < first.wall_seconds
+
+    def test_design_change_invalidates(self, tmp_path):
+        with redirected_cache_dir(tmp_path / "cache"):
+            _flow(_module()).run()
+            other = _flow(_module(lanes=2)).run()
+        assert other.cached is False
+
+    def test_codegen_change_invalidates(self, tmp_path, monkeypatch):
+        # a codegen edit changes the generated text but not the design's
+        # IR fingerprint — the cached verdict must NOT be served
+        from repro.compiler.codegen.verilog import VerilogGenerator
+
+        with redirected_cache_dir(tmp_path / "cache"):
+            _flow(_module()).run()
+
+            original = VerilogGenerator.generate_kernel
+
+            def patched(self, func):
+                return original(self, func).replace("// kernel pipeline",
+                                                    "// EDITED pipeline")
+
+            monkeypatch.setattr(VerilogGenerator, "generate_kernel", patched)
+            edited = _flow(_module()).run()
+        assert edited.cached is False
+
+    def test_settings_change_invalidates(self, tmp_path):
+        with redirected_cache_dir(tmp_path / "cache"):
+            _flow(_module()).run()
+            reseeded = RTLSimFlow(_module(), FlowSettings(n_items=32, seed=99)).run()
+        assert reseeded.cached is False
+
+    def test_use_cache_false_bypasses(self, tmp_path):
+        with redirected_cache_dir(tmp_path / "cache"):
+            _flow(_module()).run()
+            bypassed = _flow(_module(), use_cache=False).run()
+        assert bypassed.cached is False
+
+    def test_disabled_store_still_runs(self, tmp_path):
+        with redirected_cache_dir("off"):
+            result = _flow(_module()).run()
+        assert result.cached is False
+        assert result.ok
+
+    def test_run_directory_artifacts_and_manifest(self, tmp_path):
+        with redirected_cache_dir(tmp_path / "cache"):
+            result = _flow(_module(), tmp_root=tmp_path / "runs").run()
+        assert result.run_dir is not None
+        names = {p.name for p in result.run_dir.iterdir()}
+        assert "manifest.json" in names and "result.json" in names
+        assert any(name.endswith("_kernel.v") for name in names)
+        # the manifest hashes exactly the artifacts on disk
+        import hashlib
+        import json
+
+        manifest = json.loads((result.run_dir / "manifest.json").read_text())
+        for name, digest in manifest.items():
+            on_disk = hashlib.sha256(
+                (result.run_dir / name).read_text().encode()).hexdigest()
+            assert on_disk == digest
+
+    def test_cached_rerun_still_writes_artifacts(self, tmp_path):
+        with redirected_cache_dir(tmp_path / "cache"):
+            _flow(_module()).run()
+            rerun = _flow(_module(), tmp_root=tmp_path / "runs").run()
+        assert rerun.cached is True
+        assert (rerun.run_dir / "result.json").exists()

@@ -1,0 +1,441 @@
+// golden Verilog snapshot for kernel 'conv2d' (lanes 2, grid (8, 8), 64 items)
+
+// ==== file: conv2d_l2_config.vh ====
+// configuration include for conv2d_l2
+`define TYTRA_DESIGN "conv2d_l2"
+`define TYTRA_LANES 2
+`define TYTRA_KERNEL "conv2d_pe"
+`define TYTRA_PIPELINE_DEPTH 13
+`define TYTRA_WINDOW 9
+`define TYTRA_RTL_LATENCY 20
+`define TYTRA_NI 18
+`define TYTRA_NOFF 9
+`define TYTRA_NWPT 2
+`define TYTRA_STREAMS 4
+
+// ==== file: conv2d_l2_cu.v ====
+// compute unit for design 'conv2d_l2': 2 lane(s) of @conv2d_pe
+module conv2d_l2_cu (
+  input  wire clk,
+  input  wire rst,
+  input  wire in_valid,
+  output wire out_valid
+);
+
+  // ---- lane 0 ----
+  wire lane0_out_valid;
+  wire [23:0] src_lane0; // fed by stream control
+  conv2d_pe_kernel lane0 (.clk(clk), .rst(rst), .in_valid(in_valid), .out_valid(lane0_out_valid), .s_src(src_lane0));
+
+  // ---- lane 1 ----
+  wire lane1_out_valid;
+  wire [23:0] src_lane1; // fed by stream control
+  conv2d_pe_kernel lane1 (.clk(clk), .rst(rst), .in_valid(in_valid), .out_valid(lane1_out_valid), .s_src(src_lane1));
+
+  assign out_valid = lane0_out_valid & lane1_out_valid;
+endmodule
+
+// ==== file: conv2d_pe_kernel.v ====
+// kernel pipeline for @conv2d_pe (depth 13, II 1, window 9, latency 20)
+module conv2d_pe_kernel (
+  input  wire clk,
+  input  wire rst,
+  input  wire in_valid,
+  output wire out_valid,
+  input  wire [23:0] s_src,
+  output wire [23:0] s_dst,
+  output reg  [23:0] g_pixAcc
+);
+
+  reg [19:0] valid_sr;
+  always @(posedge clk) begin
+    if (rst) valid_sr <= 0;
+    else     valid_sr <= {valid_sr, in_valid};
+  end
+  assign out_valid = valid_sr[19];
+
+  // input stream %src aligned by 9 cycle(s)
+  reg [23:0] argbuf_src [0:8];
+  integer i_argbuf_src;
+  always @(posedge clk) begin
+    argbuf_src[0] <= s_src;
+    for (i_argbuf_src = 1; i_argbuf_src < 9; i_argbuf_src = i_argbuf_src + 1)
+      argbuf_src[i_argbuf_src] <= argbuf_src[i_argbuf_src - 1];
+  end
+  wire [23:0] w_src = argbuf_src[8];
+
+  // offset stream %src_p1 = %src offset +1 (delay 8)
+  reg [23:0] offbuf_src_p1 [0:7];
+  integer i_offbuf_src_p1;
+  always @(posedge clk) begin
+    offbuf_src_p1[0] <= s_src;
+    for (i_offbuf_src_p1 = 1; i_offbuf_src_p1 < 8; i_offbuf_src_p1 = i_offbuf_src_p1 + 1)
+      offbuf_src_p1[i_offbuf_src_p1] <= offbuf_src_p1[i_offbuf_src_p1 - 1];
+  end
+  wire [23:0] w_src_p1 = offbuf_src_p1[7];
+
+  // offset stream %src_n1 = %src offset -1 (delay 10)
+  reg [23:0] offbuf_src_n1 [0:9];
+  integer i_offbuf_src_n1;
+  always @(posedge clk) begin
+    offbuf_src_n1[0] <= s_src;
+    for (i_offbuf_src_n1 = 1; i_offbuf_src_n1 < 10; i_offbuf_src_n1 = i_offbuf_src_n1 + 1)
+      offbuf_src_n1[i_offbuf_src_n1] <= offbuf_src_n1[i_offbuf_src_n1 - 1];
+  end
+  wire [23:0] w_src_n1 = offbuf_src_n1[9];
+
+  // offset stream %src_pND1 = %src offset +ND1 (delay 1)
+  reg [23:0] offbuf_src_pND1 [0:0];
+  integer i_offbuf_src_pND1;
+  always @(posedge clk) begin
+    offbuf_src_pND1[0] <= s_src;
+    for (i_offbuf_src_pND1 = 1; i_offbuf_src_pND1 < 1; i_offbuf_src_pND1 = i_offbuf_src_pND1 + 1)
+      offbuf_src_pND1[i_offbuf_src_pND1] <= offbuf_src_pND1[i_offbuf_src_pND1 - 1];
+  end
+  wire [23:0] w_src_pND1 = offbuf_src_pND1[0];
+
+  // offset stream %src_nND1 = %src offset -ND1 (delay 17)
+  reg [23:0] offbuf_src_nND1 [0:16];
+  integer i_offbuf_src_nND1;
+  always @(posedge clk) begin
+    offbuf_src_nND1[0] <= s_src;
+    for (i_offbuf_src_nND1 = 1; i_offbuf_src_nND1 < 17; i_offbuf_src_nND1 = i_offbuf_src_nND1 + 1)
+      offbuf_src_nND1[i_offbuf_src_nND1] <= offbuf_src_nND1[i_offbuf_src_nND1 - 1];
+  end
+  wire [23:0] w_src_nND1 = offbuf_src_nND1[16];
+
+  // offset stream %src_pND1p1 = %src offset +ND1+1 (delay 0)
+  wire [23:0] w_src_pND1p1 = s_src;
+
+  // offset stream %src_pND1n1 = %src offset +ND1-1 (delay 2)
+  reg [23:0] offbuf_src_pND1n1 [0:1];
+  integer i_offbuf_src_pND1n1;
+  always @(posedge clk) begin
+    offbuf_src_pND1n1[0] <= s_src;
+    for (i_offbuf_src_pND1n1 = 1; i_offbuf_src_pND1n1 < 2; i_offbuf_src_pND1n1 = i_offbuf_src_pND1n1 + 1)
+      offbuf_src_pND1n1[i_offbuf_src_pND1n1] <= offbuf_src_pND1n1[i_offbuf_src_pND1n1 - 1];
+  end
+  wire [23:0] w_src_pND1n1 = offbuf_src_pND1n1[1];
+
+  // offset stream %src_nND1p1 = %src offset -ND1+1 (delay 16)
+  reg [23:0] offbuf_src_nND1p1 [0:15];
+  integer i_offbuf_src_nND1p1;
+  always @(posedge clk) begin
+    offbuf_src_nND1p1[0] <= s_src;
+    for (i_offbuf_src_nND1p1 = 1; i_offbuf_src_nND1p1 < 16; i_offbuf_src_nND1p1 = i_offbuf_src_nND1p1 + 1)
+      offbuf_src_nND1p1[i_offbuf_src_nND1p1] <= offbuf_src_nND1p1[i_offbuf_src_nND1p1 - 1];
+  end
+  wire [23:0] w_src_nND1p1 = offbuf_src_nND1p1[15];
+
+  // offset stream %src_nND1n1 = %src offset -ND1-1 (delay 18)
+  reg [23:0] offbuf_src_nND1n1 [0:17];
+  integer i_offbuf_src_nND1n1;
+  always @(posedge clk) begin
+    offbuf_src_nND1n1[0] <= s_src;
+    for (i_offbuf_src_nND1n1 = 1; i_offbuf_src_nND1n1 < 18; i_offbuf_src_nND1n1 = i_offbuf_src_nND1n1 + 1)
+      offbuf_src_nND1n1[i_offbuf_src_nND1n1] <= offbuf_src_nND1n1[i_offbuf_src_nND1n1 - 1];
+  end
+  wire [23:0] w_src_nND1n1 = offbuf_src_nND1n1[17];
+
+  // %1 = mul (stage 0, 3 cycle(s))
+  reg [23:0] r_v1;
+  reg [23:0] r_v1_p1;
+  reg [23:0] r_v1_p2;
+  always @(posedge clk) begin
+    r_v1 <= w_src * 24'd64;
+    r_v1_p1 <= r_v1;
+    r_v1_p2 <= r_v1_p1;
+  end
+  wire [23:0] w_v1 = r_v1_p2;
+
+  // %2 = mul (stage 0, 3 cycle(s))
+  reg [23:0] r_v2;
+  reg [23:0] r_v2_p1;
+  reg [23:0] r_v2_p2;
+  always @(posedge clk) begin
+    r_v2 <= w_src_p1 * 24'd32;
+    r_v2_p1 <= r_v2;
+    r_v2_p2 <= r_v2_p1;
+  end
+  wire [23:0] w_v2 = r_v2_p2;
+
+  // %3 = mul (stage 0, 3 cycle(s))
+  reg [23:0] r_v3;
+  reg [23:0] r_v3_p1;
+  reg [23:0] r_v3_p2;
+  always @(posedge clk) begin
+    r_v3 <= w_src_n1 * 24'd32;
+    r_v3_p1 <= r_v3;
+    r_v3_p2 <= r_v3_p1;
+  end
+  wire [23:0] w_v3 = r_v3_p2;
+
+  // %4 = mul (stage 0, 3 cycle(s))
+  reg [23:0] r_v4;
+  reg [23:0] r_v4_p1;
+  reg [23:0] r_v4_p2;
+  always @(posedge clk) begin
+    r_v4 <= w_src_pND1 * 24'd32;
+    r_v4_p1 <= r_v4;
+    r_v4_p2 <= r_v4_p1;
+  end
+  wire [23:0] w_v4 = r_v4_p2;
+
+  // %5 = mul (stage 0, 3 cycle(s))
+  reg [23:0] r_v5;
+  reg [23:0] r_v5_p1;
+  reg [23:0] r_v5_p2;
+  always @(posedge clk) begin
+    r_v5 <= w_src_nND1 * 24'd32;
+    r_v5_p1 <= r_v5;
+    r_v5_p2 <= r_v5_p1;
+  end
+  wire [23:0] w_v5 = r_v5_p2;
+
+  // %6 = mul (stage 0, 3 cycle(s))
+  reg [23:0] r_v6;
+  reg [23:0] r_v6_p1;
+  reg [23:0] r_v6_p2;
+  always @(posedge clk) begin
+    r_v6 <= w_src_pND1p1 * 24'd16;
+    r_v6_p1 <= r_v6;
+    r_v6_p2 <= r_v6_p1;
+  end
+  wire [23:0] w_v6 = r_v6_p2;
+
+  // %7 = mul (stage 0, 3 cycle(s))
+  reg [23:0] r_v7;
+  reg [23:0] r_v7_p1;
+  reg [23:0] r_v7_p2;
+  always @(posedge clk) begin
+    r_v7 <= w_src_pND1n1 * 24'd16;
+    r_v7_p1 <= r_v7;
+    r_v7_p2 <= r_v7_p1;
+  end
+  wire [23:0] w_v7 = r_v7_p2;
+
+  // %8 = mul (stage 0, 3 cycle(s))
+  reg [23:0] r_v8;
+  reg [23:0] r_v8_p1;
+  reg [23:0] r_v8_p2;
+  always @(posedge clk) begin
+    r_v8 <= w_src_nND1p1 * 24'd16;
+    r_v8_p1 <= r_v8;
+    r_v8_p2 <= r_v8_p1;
+  end
+  wire [23:0] w_v8 = r_v8_p2;
+
+  // %9 = mul (stage 0, 3 cycle(s))
+  reg [23:0] r_v9;
+  reg [23:0] r_v9_p1;
+  reg [23:0] r_v9_p2;
+  always @(posedge clk) begin
+    r_v9 <= w_src_nND1n1 * 24'd16;
+    r_v9_p1 <= r_v9;
+    r_v9_p2 <= r_v9_p1;
+  end
+  wire [23:0] w_v9 = r_v9_p2;
+
+  // %10 = add (stage 3, 1 cycle(s))
+  reg [23:0] r_v10;
+  always @(posedge clk) begin
+    r_v10 <= w_v1 + w_v2;
+  end
+  wire [23:0] w_v10 = r_v10;
+
+  // balance %3 by 1 cycle(s)
+  reg [23:0] balbuf_v3_d1 [0:0];
+  integer i_balbuf_v3_d1;
+  always @(posedge clk) begin
+    balbuf_v3_d1[0] <= w_v3;
+    for (i_balbuf_v3_d1 = 1; i_balbuf_v3_d1 < 1; i_balbuf_v3_d1 = i_balbuf_v3_d1 + 1)
+      balbuf_v3_d1[i_balbuf_v3_d1] <= balbuf_v3_d1[i_balbuf_v3_d1 - 1];
+  end
+  wire [23:0] w_v3_d1 = balbuf_v3_d1[0];
+
+  // %11 = add (stage 4, 1 cycle(s))
+  reg [23:0] r_v11;
+  always @(posedge clk) begin
+    r_v11 <= w_v10 + w_v3_d1;
+  end
+  wire [23:0] w_v11 = r_v11;
+
+  // balance %4 by 2 cycle(s)
+  reg [23:0] balbuf_v4_d2 [0:1];
+  integer i_balbuf_v4_d2;
+  always @(posedge clk) begin
+    balbuf_v4_d2[0] <= w_v4;
+    for (i_balbuf_v4_d2 = 1; i_balbuf_v4_d2 < 2; i_balbuf_v4_d2 = i_balbuf_v4_d2 + 1)
+      balbuf_v4_d2[i_balbuf_v4_d2] <= balbuf_v4_d2[i_balbuf_v4_d2 - 1];
+  end
+  wire [23:0] w_v4_d2 = balbuf_v4_d2[1];
+
+  // %12 = add (stage 5, 1 cycle(s))
+  reg [23:0] r_v12;
+  always @(posedge clk) begin
+    r_v12 <= w_v11 + w_v4_d2;
+  end
+  wire [23:0] w_v12 = r_v12;
+
+  // balance %5 by 3 cycle(s)
+  reg [23:0] balbuf_v5_d3 [0:2];
+  integer i_balbuf_v5_d3;
+  always @(posedge clk) begin
+    balbuf_v5_d3[0] <= w_v5;
+    for (i_balbuf_v5_d3 = 1; i_balbuf_v5_d3 < 3; i_balbuf_v5_d3 = i_balbuf_v5_d3 + 1)
+      balbuf_v5_d3[i_balbuf_v5_d3] <= balbuf_v5_d3[i_balbuf_v5_d3 - 1];
+  end
+  wire [23:0] w_v5_d3 = balbuf_v5_d3[2];
+
+  // %13 = add (stage 6, 1 cycle(s))
+  reg [23:0] r_v13;
+  always @(posedge clk) begin
+    r_v13 <= w_v12 + w_v5_d3;
+  end
+  wire [23:0] w_v13 = r_v13;
+
+  // balance %6 by 4 cycle(s)
+  reg [23:0] balbuf_v6_d4 [0:3];
+  integer i_balbuf_v6_d4;
+  always @(posedge clk) begin
+    balbuf_v6_d4[0] <= w_v6;
+    for (i_balbuf_v6_d4 = 1; i_balbuf_v6_d4 < 4; i_balbuf_v6_d4 = i_balbuf_v6_d4 + 1)
+      balbuf_v6_d4[i_balbuf_v6_d4] <= balbuf_v6_d4[i_balbuf_v6_d4 - 1];
+  end
+  wire [23:0] w_v6_d4 = balbuf_v6_d4[3];
+
+  // %14 = add (stage 7, 1 cycle(s))
+  reg [23:0] r_v14;
+  always @(posedge clk) begin
+    r_v14 <= w_v13 + w_v6_d4;
+  end
+  wire [23:0] w_v14 = r_v14;
+
+  // balance %7 by 5 cycle(s)
+  reg [23:0] balbuf_v7_d5 [0:4];
+  integer i_balbuf_v7_d5;
+  always @(posedge clk) begin
+    balbuf_v7_d5[0] <= w_v7;
+    for (i_balbuf_v7_d5 = 1; i_balbuf_v7_d5 < 5; i_balbuf_v7_d5 = i_balbuf_v7_d5 + 1)
+      balbuf_v7_d5[i_balbuf_v7_d5] <= balbuf_v7_d5[i_balbuf_v7_d5 - 1];
+  end
+  wire [23:0] w_v7_d5 = balbuf_v7_d5[4];
+
+  // %15 = add (stage 8, 1 cycle(s))
+  reg [23:0] r_v15;
+  always @(posedge clk) begin
+    r_v15 <= w_v14 + w_v7_d5;
+  end
+  wire [23:0] w_v15 = r_v15;
+
+  // balance %8 by 6 cycle(s)
+  reg [23:0] balbuf_v8_d6 [0:5];
+  integer i_balbuf_v8_d6;
+  always @(posedge clk) begin
+    balbuf_v8_d6[0] <= w_v8;
+    for (i_balbuf_v8_d6 = 1; i_balbuf_v8_d6 < 6; i_balbuf_v8_d6 = i_balbuf_v8_d6 + 1)
+      balbuf_v8_d6[i_balbuf_v8_d6] <= balbuf_v8_d6[i_balbuf_v8_d6 - 1];
+  end
+  wire [23:0] w_v8_d6 = balbuf_v8_d6[5];
+
+  // %16 = add (stage 9, 1 cycle(s))
+  reg [23:0] r_v16;
+  always @(posedge clk) begin
+    r_v16 <= w_v15 + w_v8_d6;
+  end
+  wire [23:0] w_v16 = r_v16;
+
+  // balance %9 by 7 cycle(s)
+  reg [23:0] balbuf_v9_d7 [0:6];
+  integer i_balbuf_v9_d7;
+  always @(posedge clk) begin
+    balbuf_v9_d7[0] <= w_v9;
+    for (i_balbuf_v9_d7 = 1; i_balbuf_v9_d7 < 7; i_balbuf_v9_d7 = i_balbuf_v9_d7 + 1)
+      balbuf_v9_d7[i_balbuf_v9_d7] <= balbuf_v9_d7[i_balbuf_v9_d7 - 1];
+  end
+  wire [23:0] w_v9_d7 = balbuf_v9_d7[6];
+
+  // %dst = add (stage 10, 1 cycle(s))
+  reg [23:0] r_dst;
+  always @(posedge clk) begin
+    r_dst <= w_v16 + w_v9_d7;
+  end
+  wire [23:0] w_dst = r_dst;
+
+  // reduction @pixAcc (stage 11)
+  always @(posedge clk) begin
+    if (rst) g_pixAcc <= 0;
+    else if (valid_sr[19]) g_pixAcc <= w_dst + g_pixAcc;
+  end
+
+  assign s_dst = w_dst;
+endmodule
+
+// ==== file: testbench.v ====
+// Auto-generated testbench for @conv2d_pe (RTL latency 20, 64 work-items, stimulus seed 0x7c0ffee)
+`timescale 1ns/1ps
+module tb_conv2d_pe;
+
+  reg clk = 1'b0;
+  reg rst = 1'b1;
+  reg in_valid = 1'b0;
+  wire out_valid;
+  integer cycle = 0;
+  integer out_index = 0;
+
+  always #2.5 clk = ~clk;
+
+  reg [23:0] s_src;
+  reg [31:0] lcg_src;  // stream 0 LCG state
+
+  wire [23:0] s_dst;
+  wire [23:0] g_pixAcc;
+
+  conv2d_pe_kernel dut (
+    .clk(clk),
+    .rst(rst),
+    .in_valid(in_valid),
+    .out_valid(out_valid),
+    .s_src(s_src),
+    .s_dst(s_dst),
+    .g_pixAcc(g_pixAcc)
+  );
+
+  initial begin
+    $dumpfile("tb_conv2d_pe.vcd");
+    $dumpvars(0, tb_conv2d_pe);
+    repeat (35) @(posedge clk);  // flush un-reset delay lines with zeros
+    rst = 1'b0;
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      cycle <= 0;
+      in_valid <= 1'b0;
+      s_src <= 0;
+      lcg_src <= 32'ha5f879a7;
+    end else begin
+      cycle <= cycle + 1;
+      in_valid <= (cycle < 64);
+      if (cycle < 64) begin
+        s_src <= lcg_src[23:0];
+        lcg_src <= lcg_src * 32'd1664525 + 32'd1013904223;
+      end else begin
+        s_src <= 0;
+      end
+    end
+  end
+
+  always @(posedge clk) begin
+    if (!rst && out_valid) begin
+      $display("RESULT dst %0d %h", out_index, s_dst);
+      out_index <= out_index + 1;
+    end
+    if (cycle == 102) begin
+      $display("REDUCTION pixAcc %h", g_pixAcc);
+      $display("DONE %0d", cycle);
+      $finish;
+    end
+  end
+
+endmodule

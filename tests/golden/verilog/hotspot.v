@@ -1,0 +1,379 @@
+// golden Verilog snapshot for kernel 'hotspot' (lanes 2, grid (8, 8), 64 items)
+
+// ==== file: hotspot_l2_config.vh ====
+// configuration include for hotspot_l2
+`define TYTRA_DESIGN "hotspot_l2"
+`define TYTRA_LANES 2
+`define TYTRA_KERNEL "hotspot_pe"
+`define TYTRA_PIPELINE_DEPTH 14
+`define TYTRA_WINDOW 8
+`define TYTRA_RTL_LATENCY 21
+`define TYTRA_NI 14
+`define TYTRA_NOFF 8
+`define TYTRA_NWPT 4
+`define TYTRA_STREAMS 8
+
+// ==== file: hotspot_l2_cu.v ====
+// compute unit for design 'hotspot_l2': 2 lane(s) of @hotspot_pe
+module hotspot_l2_cu (
+  input  wire clk,
+  input  wire rst,
+  input  wire in_valid,
+  output wire out_valid
+);
+
+  // ---- lane 0 ----
+  wire lane0_out_valid;
+  wire [31:0] temp_lane0; // fed by stream control
+  wire [31:0] power_lane0; // fed by stream control
+  wire [31:0] cap_inv_lane0; // fed by stream control
+  hotspot_pe_kernel lane0 (.clk(clk), .rst(rst), .in_valid(in_valid), .out_valid(lane0_out_valid), .s_temp(temp_lane0), .s_power(power_lane0), .s_cap_inv(cap_inv_lane0));
+
+  // ---- lane 1 ----
+  wire lane1_out_valid;
+  wire [31:0] temp_lane1; // fed by stream control
+  wire [31:0] power_lane1; // fed by stream control
+  wire [31:0] cap_inv_lane1; // fed by stream control
+  hotspot_pe_kernel lane1 (.clk(clk), .rst(rst), .in_valid(in_valid), .out_valid(lane1_out_valid), .s_temp(temp_lane1), .s_power(power_lane1), .s_cap_inv(cap_inv_lane1));
+
+  assign out_valid = lane0_out_valid & lane1_out_valid;
+endmodule
+
+// ==== file: hotspot_pe_kernel.v ====
+// kernel pipeline for @hotspot_pe (depth 14, II 1, window 8, latency 21)
+module hotspot_pe_kernel (
+  input  wire clk,
+  input  wire rst,
+  input  wire in_valid,
+  output wire out_valid,
+  input  wire [31:0] s_temp,
+  input  wire [31:0] s_power,
+  input  wire [31:0] s_cap_inv,
+  output wire [31:0] s_t_new,
+  output reg  [31:0] g_maxDelta
+);
+
+  reg [20:0] valid_sr;
+  always @(posedge clk) begin
+    if (rst) valid_sr <= 0;
+    else     valid_sr <= {valid_sr, in_valid};
+  end
+  assign out_valid = valid_sr[20];
+
+  // input stream %temp aligned by 8 cycle(s)
+  reg [31:0] argbuf_temp [0:7];
+  integer i_argbuf_temp;
+  always @(posedge clk) begin
+    argbuf_temp[0] <= s_temp;
+    for (i_argbuf_temp = 1; i_argbuf_temp < 8; i_argbuf_temp = i_argbuf_temp + 1)
+      argbuf_temp[i_argbuf_temp] <= argbuf_temp[i_argbuf_temp - 1];
+  end
+  wire [31:0] w_temp = argbuf_temp[7];
+
+  // input stream %power aligned by 8 cycle(s)
+  reg [31:0] argbuf_power [0:7];
+  integer i_argbuf_power;
+  always @(posedge clk) begin
+    argbuf_power[0] <= s_power;
+    for (i_argbuf_power = 1; i_argbuf_power < 8; i_argbuf_power = i_argbuf_power + 1)
+      argbuf_power[i_argbuf_power] <= argbuf_power[i_argbuf_power - 1];
+  end
+  wire [31:0] w_power = argbuf_power[7];
+
+  // input stream %cap_inv aligned by 8 cycle(s)
+  reg [31:0] argbuf_cap_inv [0:7];
+  integer i_argbuf_cap_inv;
+  always @(posedge clk) begin
+    argbuf_cap_inv[0] <= s_cap_inv;
+    for (i_argbuf_cap_inv = 1; i_argbuf_cap_inv < 8; i_argbuf_cap_inv = i_argbuf_cap_inv + 1)
+      argbuf_cap_inv[i_argbuf_cap_inv] <= argbuf_cap_inv[i_argbuf_cap_inv - 1];
+  end
+  wire [31:0] w_cap_inv = argbuf_cap_inv[7];
+
+  // offset stream %temp_1 = %temp offset 1 (delay 7)
+  reg [31:0] offbuf_temp_1 [0:6];
+  integer i_offbuf_temp_1;
+  always @(posedge clk) begin
+    offbuf_temp_1[0] <= s_temp;
+    for (i_offbuf_temp_1 = 1; i_offbuf_temp_1 < 7; i_offbuf_temp_1 = i_offbuf_temp_1 + 1)
+      offbuf_temp_1[i_offbuf_temp_1] <= offbuf_temp_1[i_offbuf_temp_1 - 1];
+  end
+  wire [31:0] w_temp_1 = offbuf_temp_1[6];
+
+  // offset stream %temp_n1 = %temp offset -1 (delay 9)
+  reg [31:0] offbuf_temp_n1 [0:8];
+  integer i_offbuf_temp_n1;
+  always @(posedge clk) begin
+    offbuf_temp_n1[0] <= s_temp;
+    for (i_offbuf_temp_n1 = 1; i_offbuf_temp_n1 < 9; i_offbuf_temp_n1 = i_offbuf_temp_n1 + 1)
+      offbuf_temp_n1[i_offbuf_temp_n1] <= offbuf_temp_n1[i_offbuf_temp_n1 - 1];
+  end
+  wire [31:0] w_temp_n1 = offbuf_temp_n1[8];
+
+  // offset stream %temp_pND1 = %temp offset +ND1 (delay 0)
+  wire [31:0] w_temp_pND1 = s_temp;
+
+  // offset stream %temp_nND1 = %temp offset -ND1 (delay 16)
+  reg [31:0] offbuf_temp_nND1 [0:15];
+  integer i_offbuf_temp_nND1;
+  always @(posedge clk) begin
+    offbuf_temp_nND1[0] <= s_temp;
+    for (i_offbuf_temp_nND1 = 1; i_offbuf_temp_nND1 < 16; i_offbuf_temp_nND1 = i_offbuf_temp_nND1 + 1)
+      offbuf_temp_nND1[i_offbuf_temp_nND1] <= offbuf_temp_nND1[i_offbuf_temp_nND1 - 1];
+  end
+  wire [31:0] w_temp_nND1 = offbuf_temp_nND1[15];
+
+  // %1 = add (stage 0, 1 cycle(s))
+  reg [31:0] r_v1;
+  always @(posedge clk) begin
+    r_v1 <= w_temp_pND1 + w_temp_nND1;
+  end
+  wire [31:0] w_v1 = r_v1;
+
+  // %2 = add (stage 0, 1 cycle(s))
+  reg [31:0] r_v2;
+  always @(posedge clk) begin
+    r_v2 <= w_temp_1 + w_temp_n1;
+  end
+  wire [31:0] w_v2 = r_v2;
+
+  // %3 = add (stage 1, 1 cycle(s))
+  reg [31:0] r_v3;
+  always @(posedge clk) begin
+    r_v3 <= w_v1 + w_v2;
+  end
+  wire [31:0] w_v3 = r_v3;
+
+  // %4 = mul (stage 0, 3 cycle(s))
+  reg [31:0] r_v4;
+  reg [31:0] r_v4_p1;
+  reg [31:0] r_v4_p2;
+  always @(posedge clk) begin
+    r_v4 <= w_temp * 32'd4;
+    r_v4_p1 <= r_v4;
+    r_v4_p2 <= r_v4_p1;
+  end
+  wire [31:0] w_v4 = r_v4_p2;
+
+  // balance %3 by 1 cycle(s)
+  reg [31:0] balbuf_v3_d1 [0:0];
+  integer i_balbuf_v3_d1;
+  always @(posedge clk) begin
+    balbuf_v3_d1[0] <= w_v3;
+    for (i_balbuf_v3_d1 = 1; i_balbuf_v3_d1 < 1; i_balbuf_v3_d1 = i_balbuf_v3_d1 + 1)
+      balbuf_v3_d1[i_balbuf_v3_d1] <= balbuf_v3_d1[i_balbuf_v3_d1 - 1];
+  end
+  wire [31:0] w_v3_d1 = balbuf_v3_d1[0];
+
+  // %5 = sub (stage 3, 1 cycle(s))
+  reg [31:0] r_v5;
+  always @(posedge clk) begin
+    r_v5 <= w_v3_d1 - w_v4;
+  end
+  wire [31:0] w_v5 = r_v5;
+
+  // %6 = mul (stage 4, 3 cycle(s))
+  reg [31:0] r_v6;
+  reg [31:0] r_v6_p1;
+  reg [31:0] r_v6_p2;
+  always @(posedge clk) begin
+    r_v6 <= w_v5 * 32'd26;
+    r_v6_p1 <= r_v6;
+    r_v6_p2 <= r_v6_p1;
+  end
+  wire [31:0] w_v6 = r_v6_p2;
+
+  // %7 = sub (stage 0, 1 cycle(s))
+  reg [31:0] r_v7;
+  always @(posedge clk) begin
+    r_v7 <= 32'd20480 - w_temp;
+  end
+  wire [31:0] w_v7 = r_v7;
+
+  // %8 = mul (stage 1, 3 cycle(s))
+  reg [31:0] r_v8;
+  reg [31:0] r_v8_p1;
+  reg [31:0] r_v8_p2;
+  always @(posedge clk) begin
+    r_v8 <= w_v7 * 32'd13;
+    r_v8_p1 <= r_v8;
+    r_v8_p2 <= r_v8_p1;
+  end
+  wire [31:0] w_v8 = r_v8_p2;
+
+  // %9 = mul (stage 0, 3 cycle(s))
+  reg [31:0] r_v9;
+  reg [31:0] r_v9_p1;
+  reg [31:0] r_v9_p2;
+  always @(posedge clk) begin
+    r_v9 <= w_power * w_cap_inv;
+    r_v9_p1 <= r_v9;
+    r_v9_p2 <= r_v9_p1;
+  end
+  wire [31:0] w_v9 = r_v9_p2;
+
+  // balance %8 by 3 cycle(s)
+  reg [31:0] balbuf_v8_d3 [0:2];
+  integer i_balbuf_v8_d3;
+  always @(posedge clk) begin
+    balbuf_v8_d3[0] <= w_v8;
+    for (i_balbuf_v8_d3 = 1; i_balbuf_v8_d3 < 3; i_balbuf_v8_d3 = i_balbuf_v8_d3 + 1)
+      balbuf_v8_d3[i_balbuf_v8_d3] <= balbuf_v8_d3[i_balbuf_v8_d3 - 1];
+  end
+  wire [31:0] w_v8_d3 = balbuf_v8_d3[2];
+
+  // %10 = add (stage 7, 1 cycle(s))
+  reg [31:0] r_v10;
+  always @(posedge clk) begin
+    r_v10 <= w_v6 + w_v8_d3;
+  end
+  wire [31:0] w_v10 = r_v10;
+
+  // balance %9 by 5 cycle(s)
+  reg [31:0] balbuf_v9_d5 [0:4];
+  integer i_balbuf_v9_d5;
+  always @(posedge clk) begin
+    balbuf_v9_d5[0] <= w_v9;
+    for (i_balbuf_v9_d5 = 1; i_balbuf_v9_d5 < 5; i_balbuf_v9_d5 = i_balbuf_v9_d5 + 1)
+      balbuf_v9_d5[i_balbuf_v9_d5] <= balbuf_v9_d5[i_balbuf_v9_d5 - 1];
+  end
+  wire [31:0] w_v9_d5 = balbuf_v9_d5[4];
+
+  // %11 = add (stage 8, 1 cycle(s))
+  reg [31:0] r_v11;
+  always @(posedge clk) begin
+    r_v11 <= w_v10 + w_v9_d5;
+  end
+  wire [31:0] w_v11 = r_v11;
+
+  // balance %cap_inv by 9 cycle(s)
+  reg [31:0] balbuf_cap_inv_d9 [0:8];
+  integer i_balbuf_cap_inv_d9;
+  always @(posedge clk) begin
+    balbuf_cap_inv_d9[0] <= w_cap_inv;
+    for (i_balbuf_cap_inv_d9 = 1; i_balbuf_cap_inv_d9 < 9; i_balbuf_cap_inv_d9 = i_balbuf_cap_inv_d9 + 1)
+      balbuf_cap_inv_d9[i_balbuf_cap_inv_d9] <= balbuf_cap_inv_d9[i_balbuf_cap_inv_d9 - 1];
+  end
+  wire [31:0] w_cap_inv_d9 = balbuf_cap_inv_d9[8];
+
+  // %12 = mul (stage 9, 3 cycle(s))
+  reg [31:0] r_v12;
+  reg [31:0] r_v12_p1;
+  reg [31:0] r_v12_p2;
+  always @(posedge clk) begin
+    r_v12 <= w_v11 * w_cap_inv_d9;
+    r_v12_p1 <= r_v12;
+    r_v12_p2 <= r_v12_p1;
+  end
+  wire [31:0] w_v12 = r_v12_p2;
+
+  // balance %temp by 12 cycle(s)
+  reg [31:0] balbuf_temp_d12 [0:11];
+  integer i_balbuf_temp_d12;
+  always @(posedge clk) begin
+    balbuf_temp_d12[0] <= w_temp;
+    for (i_balbuf_temp_d12 = 1; i_balbuf_temp_d12 < 12; i_balbuf_temp_d12 = i_balbuf_temp_d12 + 1)
+      balbuf_temp_d12[i_balbuf_temp_d12] <= balbuf_temp_d12[i_balbuf_temp_d12 - 1];
+  end
+  wire [31:0] w_temp_d12 = balbuf_temp_d12[11];
+
+  // %t_new = add (stage 12, 1 cycle(s))
+  reg [31:0] r_t_new;
+  always @(posedge clk) begin
+    r_t_new <= w_temp_d12 + w_v12;
+  end
+  wire [31:0] w_t_new = r_t_new;
+
+  // reduction @maxDelta (stage 12)
+  always @(posedge clk) begin
+    if (rst) g_maxDelta <= 0;
+    else if (valid_sr[19]) g_maxDelta <= (w_v12 > g_maxDelta) ? w_v12 : g_maxDelta;
+  end
+
+  assign s_t_new = w_t_new;
+endmodule
+
+// ==== file: testbench.v ====
+// Auto-generated testbench for @hotspot_pe (RTL latency 21, 64 work-items, stimulus seed 0x7c0ffee)
+`timescale 1ns/1ps
+module tb_hotspot_pe;
+
+  reg clk = 1'b0;
+  reg rst = 1'b1;
+  reg in_valid = 1'b0;
+  wire out_valid;
+  integer cycle = 0;
+  integer out_index = 0;
+
+  always #2.5 clk = ~clk;
+
+  reg [31:0] s_temp;
+  reg [31:0] lcg_temp;  // stream 0 LCG state
+  reg [31:0] s_power;
+  reg [31:0] lcg_power;  // stream 1 LCG state
+  reg [31:0] s_cap_inv;
+  reg [31:0] lcg_cap_inv;  // stream 2 LCG state
+
+  wire [31:0] s_t_new;
+  wire [31:0] g_maxDelta;
+
+  hotspot_pe_kernel dut (
+    .clk(clk),
+    .rst(rst),
+    .in_valid(in_valid),
+    .out_valid(out_valid),
+    .s_temp(s_temp),
+    .s_power(s_power),
+    .s_cap_inv(s_cap_inv),
+    .s_t_new(s_t_new),
+    .g_maxDelta(g_maxDelta)
+  );
+
+  initial begin
+    $dumpfile("tb_hotspot_pe.vcd");
+    $dumpvars(0, tb_hotspot_pe);
+    repeat (34) @(posedge clk);  // flush un-reset delay lines with zeros
+    rst = 1'b0;
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      cycle <= 0;
+      in_valid <= 1'b0;
+      s_temp <= 0;
+      lcg_temp <= 32'ha5f879a7;
+      s_power <= 0;
+      lcg_power <= 32'h442ff360;
+      s_cap_inv <= 0;
+      lcg_cap_inv <= 32'he2676d19;
+    end else begin
+      cycle <= cycle + 1;
+      in_valid <= (cycle < 64);
+      if (cycle < 64) begin
+        s_temp <= lcg_temp[31:0];
+        lcg_temp <= lcg_temp * 32'd1664525 + 32'd1013904223;
+        s_power <= lcg_power[31:0];
+        lcg_power <= lcg_power * 32'd1664525 + 32'd1013904223;
+        s_cap_inv <= lcg_cap_inv[31:0];
+        lcg_cap_inv <= lcg_cap_inv * 32'd1664525 + 32'd1013904223;
+      end else begin
+        s_temp <= 0;
+        s_power <= 0;
+        s_cap_inv <= 0;
+      end
+    end
+  end
+
+  always @(posedge clk) begin
+    if (!rst && out_valid) begin
+      $display("RESULT t_new %0d %h", out_index, s_t_new);
+      out_index <= out_index + 1;
+    end
+    if (cycle == 102) begin
+      $display("REDUCTION maxDelta %h", g_maxDelta);
+      $display("DONE %0d", cycle);
+      $finish;
+    end
+  end
+
+endmodule

@@ -1,0 +1,362 @@
+// golden Verilog snapshot for kernel 'lavamd' (lanes 2, grid (8, 8, 8), 64 items)
+
+// ==== file: lavamd_l2_config.vh ====
+// configuration include for lavamd_l2
+`define TYTRA_DESIGN "lavamd_l2"
+`define TYTRA_LANES 2
+`define TYTRA_KERNEL "lavamd_pe"
+`define TYTRA_PIPELINE_DEPTH 23
+`define TYTRA_WINDOW 0
+`define TYTRA_RTL_LATENCY 21
+`define TYTRA_NI 15
+`define TYTRA_NOFF 0
+`define TYTRA_NWPT 5
+`define TYTRA_STREAMS 10
+
+// ==== file: lavamd_l2_cu.v ====
+// compute unit for design 'lavamd_l2': 2 lane(s) of @lavamd_pe
+module lavamd_l2_cu (
+  input  wire clk,
+  input  wire rst,
+  input  wire in_valid,
+  output wire out_valid
+);
+
+  // ---- lane 0 ----
+  wire lane0_out_valid;
+  wire [31:0] rx_lane0; // fed by stream control
+  wire [31:0] ry_lane0; // fed by stream control
+  wire [31:0] rz_lane0; // fed by stream control
+  wire [31:0] qv_lane0; // fed by stream control
+  lavamd_pe_kernel lane0 (.clk(clk), .rst(rst), .in_valid(in_valid), .out_valid(lane0_out_valid), .s_rx(rx_lane0), .s_ry(ry_lane0), .s_rz(rz_lane0), .s_qv(qv_lane0));
+
+  // ---- lane 1 ----
+  wire lane1_out_valid;
+  wire [31:0] rx_lane1; // fed by stream control
+  wire [31:0] ry_lane1; // fed by stream control
+  wire [31:0] rz_lane1; // fed by stream control
+  wire [31:0] qv_lane1; // fed by stream control
+  lavamd_pe_kernel lane1 (.clk(clk), .rst(rst), .in_valid(in_valid), .out_valid(lane1_out_valid), .s_rx(rx_lane1), .s_ry(ry_lane1), .s_rz(rz_lane1), .s_qv(qv_lane1));
+
+  assign out_valid = lane0_out_valid & lane1_out_valid;
+endmodule
+
+// ==== file: lavamd_pe_kernel.v ====
+// kernel pipeline for @lavamd_pe (depth 23, II 1, window 0, latency 21)
+module lavamd_pe_kernel (
+  input  wire clk,
+  input  wire rst,
+  input  wire in_valid,
+  output wire out_valid,
+  input  wire [31:0] s_rx,
+  input  wire [31:0] s_ry,
+  input  wire [31:0] s_rz,
+  input  wire [31:0] s_qv,
+  output wire [31:0] s_pot,
+  output reg  [31:0] g_potAcc
+);
+
+  reg [20:0] valid_sr;
+  always @(posedge clk) begin
+    if (rst) valid_sr <= 0;
+    else     valid_sr <= {valid_sr, in_valid};
+  end
+  assign out_valid = valid_sr[20];
+
+  // input stream %rx aligned by 0 cycle(s)
+  wire [31:0] w_rx = s_rx;
+
+  // input stream %ry aligned by 0 cycle(s)
+  wire [31:0] w_ry = s_ry;
+
+  // input stream %rz aligned by 0 cycle(s)
+  wire [31:0] w_rz = s_rz;
+
+  // input stream %qv aligned by 0 cycle(s)
+  wire [31:0] w_qv = s_qv;
+
+  // %1 = mul (stage 0, 3 cycle(s))
+  reg [31:0] r_v1;
+  reg [31:0] r_v1_p1;
+  reg [31:0] r_v1_p2;
+  always @(posedge clk) begin
+    r_v1 <= w_rx * w_rx;
+    r_v1_p1 <= r_v1;
+    r_v1_p2 <= r_v1_p1;
+  end
+  wire [31:0] w_v1 = r_v1_p2;
+
+  // %2 = mul (stage 0, 3 cycle(s))
+  reg [31:0] r_v2;
+  reg [31:0] r_v2_p1;
+  reg [31:0] r_v2_p2;
+  always @(posedge clk) begin
+    r_v2 <= w_ry * w_ry;
+    r_v2_p1 <= r_v2;
+    r_v2_p2 <= r_v2_p1;
+  end
+  wire [31:0] w_v2 = r_v2_p2;
+
+  // %3 = mul (stage 0, 3 cycle(s))
+  reg [31:0] r_v3;
+  reg [31:0] r_v3_p1;
+  reg [31:0] r_v3_p2;
+  always @(posedge clk) begin
+    r_v3 <= w_rz * w_rz;
+    r_v3_p1 <= r_v3;
+    r_v3_p2 <= r_v3_p1;
+  end
+  wire [31:0] w_v3 = r_v3_p2;
+
+  // %4 = add (stage 3, 1 cycle(s))
+  reg [31:0] r_v4;
+  always @(posedge clk) begin
+    r_v4 <= w_v1 + w_v2;
+  end
+  wire [31:0] w_v4 = r_v4;
+
+  // balance %3 by 1 cycle(s)
+  reg [31:0] balbuf_v3_d1 [0:0];
+  integer i_balbuf_v3_d1;
+  always @(posedge clk) begin
+    balbuf_v3_d1[0] <= w_v3;
+    for (i_balbuf_v3_d1 = 1; i_balbuf_v3_d1 < 1; i_balbuf_v3_d1 = i_balbuf_v3_d1 + 1)
+      balbuf_v3_d1[i_balbuf_v3_d1] <= balbuf_v3_d1[i_balbuf_v3_d1 - 1];
+  end
+  wire [31:0] w_v3_d1 = balbuf_v3_d1[0];
+
+  // %5 = add (stage 4, 1 cycle(s))
+  reg [31:0] r_v5;
+  always @(posedge clk) begin
+    r_v5 <= w_v4 + w_v3_d1;
+  end
+  wire [31:0] w_v5 = r_v5;
+
+  // %6 = mul (stage 5, 3 cycle(s))
+  reg [31:0] r_v6;
+  reg [31:0] r_v6_p1;
+  reg [31:0] r_v6_p2;
+  always @(posedge clk) begin
+    r_v6 <= w_v5 * 32'd128;
+    r_v6_p1 <= r_v6;
+    r_v6_p2 <= r_v6_p1;
+  end
+  wire [31:0] w_v6 = r_v6_p2;
+
+  // %7 = mul (stage 8, 3 cycle(s))
+  reg [31:0] r_v7;
+  reg [31:0] r_v7_p1;
+  reg [31:0] r_v7_p2;
+  always @(posedge clk) begin
+    r_v7 <= w_v6 * w_v6;
+    r_v7_p1 <= r_v7;
+    r_v7_p2 <= r_v7_p1;
+  end
+  wire [31:0] w_v7 = r_v7_p2;
+
+  // balance %6 by 3 cycle(s)
+  reg [31:0] balbuf_v6_d3 [0:2];
+  integer i_balbuf_v6_d3;
+  always @(posedge clk) begin
+    balbuf_v6_d3[0] <= w_v6;
+    for (i_balbuf_v6_d3 = 1; i_balbuf_v6_d3 < 3; i_balbuf_v6_d3 = i_balbuf_v6_d3 + 1)
+      balbuf_v6_d3[i_balbuf_v6_d3] <= balbuf_v6_d3[i_balbuf_v6_d3 - 1];
+  end
+  wire [31:0] w_v6_d3 = balbuf_v6_d3[2];
+
+  // %8 = mul (stage 11, 3 cycle(s))
+  reg [31:0] r_v8;
+  reg [31:0] r_v8_p1;
+  reg [31:0] r_v8_p2;
+  always @(posedge clk) begin
+    r_v8 <= w_v7 * w_v6_d3;
+    r_v8_p1 <= r_v8;
+    r_v8_p2 <= r_v8_p1;
+  end
+  wire [31:0] w_v8 = r_v8_p2;
+
+  // %9 = mul (stage 11, 3 cycle(s))
+  reg [31:0] r_v9;
+  reg [31:0] r_v9_p1;
+  reg [31:0] r_v9_p2;
+  always @(posedge clk) begin
+    r_v9 <= w_v7 * 32'd128;
+    r_v9_p1 <= r_v9;
+    r_v9_p2 <= r_v9_p1;
+  end
+  wire [31:0] w_v9 = r_v9_p2;
+
+  // %10 = mul (stage 14, 3 cycle(s))
+  reg [31:0] r_v10;
+  reg [31:0] r_v10_p1;
+  reg [31:0] r_v10_p2;
+  always @(posedge clk) begin
+    r_v10 <= w_v8 * 32'd43;
+    r_v10_p1 <= r_v10;
+    r_v10_p2 <= r_v10_p1;
+  end
+  wire [31:0] w_v10 = r_v10_p2;
+
+  // %11 = sub (stage 8, 1 cycle(s))
+  reg [31:0] r_v11;
+  always @(posedge clk) begin
+    r_v11 <= 32'd256 - w_v6;
+  end
+  wire [31:0] w_v11 = r_v11;
+
+  // balance %11 by 5 cycle(s)
+  reg [31:0] balbuf_v11_d5 [0:4];
+  integer i_balbuf_v11_d5;
+  always @(posedge clk) begin
+    balbuf_v11_d5[0] <= w_v11;
+    for (i_balbuf_v11_d5 = 1; i_balbuf_v11_d5 < 5; i_balbuf_v11_d5 = i_balbuf_v11_d5 + 1)
+      balbuf_v11_d5[i_balbuf_v11_d5] <= balbuf_v11_d5[i_balbuf_v11_d5 - 1];
+  end
+  wire [31:0] w_v11_d5 = balbuf_v11_d5[4];
+
+  // %12 = add (stage 14, 1 cycle(s))
+  reg [31:0] r_v12;
+  always @(posedge clk) begin
+    r_v12 <= w_v11_d5 + w_v9;
+  end
+  wire [31:0] w_v12 = r_v12;
+
+  // balance %12 by 2 cycle(s)
+  reg [31:0] balbuf_v12_d2 [0:1];
+  integer i_balbuf_v12_d2;
+  always @(posedge clk) begin
+    balbuf_v12_d2[0] <= w_v12;
+    for (i_balbuf_v12_d2 = 1; i_balbuf_v12_d2 < 2; i_balbuf_v12_d2 = i_balbuf_v12_d2 + 1)
+      balbuf_v12_d2[i_balbuf_v12_d2] <= balbuf_v12_d2[i_balbuf_v12_d2 - 1];
+  end
+  wire [31:0] w_v12_d2 = balbuf_v12_d2[1];
+
+  // %13 = sub (stage 17, 1 cycle(s))
+  reg [31:0] r_v13;
+  always @(posedge clk) begin
+    r_v13 <= w_v12_d2 - w_v10;
+  end
+  wire [31:0] w_v13 = r_v13;
+
+  // balance %qv by 18 cycle(s)
+  reg [31:0] balbuf_qv_d18 [0:17];
+  integer i_balbuf_qv_d18;
+  always @(posedge clk) begin
+    balbuf_qv_d18[0] <= w_qv;
+    for (i_balbuf_qv_d18 = 1; i_balbuf_qv_d18 < 18; i_balbuf_qv_d18 = i_balbuf_qv_d18 + 1)
+      balbuf_qv_d18[i_balbuf_qv_d18] <= balbuf_qv_d18[i_balbuf_qv_d18 - 1];
+  end
+  wire [31:0] w_qv_d18 = balbuf_qv_d18[17];
+
+  // %pot = mul (stage 18, 3 cycle(s))
+  reg [31:0] r_pot;
+  reg [31:0] r_pot_p1;
+  reg [31:0] r_pot_p2;
+  always @(posedge clk) begin
+    r_pot <= w_qv_d18 * w_v13;
+    r_pot_p1 <= r_pot;
+    r_pot_p2 <= r_pot_p1;
+  end
+  wire [31:0] w_pot = r_pot_p2;
+
+  // reduction @potAcc (stage 21)
+  always @(posedge clk) begin
+    if (rst) g_potAcc <= 0;
+    else if (valid_sr[20]) g_potAcc <= w_pot + g_potAcc;
+  end
+
+  assign s_pot = w_pot;
+endmodule
+
+// ==== file: testbench.v ====
+// Auto-generated testbench for @lavamd_pe (RTL latency 21, 64 work-items, stimulus seed 0x7c0ffee)
+`timescale 1ns/1ps
+module tb_lavamd_pe;
+
+  reg clk = 1'b0;
+  reg rst = 1'b1;
+  reg in_valid = 1'b0;
+  wire out_valid;
+  integer cycle = 0;
+  integer out_index = 0;
+
+  always #2.5 clk = ~clk;
+
+  reg [31:0] s_rx;
+  reg [31:0] lcg_rx;  // stream 0 LCG state
+  reg [31:0] s_ry;
+  reg [31:0] lcg_ry;  // stream 1 LCG state
+  reg [31:0] s_rz;
+  reg [31:0] lcg_rz;  // stream 2 LCG state
+  reg [31:0] s_qv;
+  reg [31:0] lcg_qv;  // stream 3 LCG state
+
+  wire [31:0] s_pot;
+  wire [31:0] g_potAcc;
+
+  lavamd_pe_kernel dut (
+    .clk(clk),
+    .rst(rst),
+    .in_valid(in_valid),
+    .out_valid(out_valid),
+    .s_rx(s_rx),
+    .s_ry(s_ry),
+    .s_rz(s_rz),
+    .s_qv(s_qv),
+    .s_pot(s_pot),
+    .g_potAcc(g_potAcc)
+  );
+
+  initial begin
+    $dumpfile("tb_lavamd_pe.vcd");
+    $dumpvars(0, tb_lavamd_pe);
+    repeat (27) @(posedge clk);  // flush un-reset delay lines with zeros
+    rst = 1'b0;
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      cycle <= 0;
+      in_valid <= 1'b0;
+      s_rx <= 0;
+      lcg_rx <= 32'ha5f879a7;
+      s_ry <= 0;
+      lcg_ry <= 32'h442ff360;
+      s_rz <= 0;
+      lcg_rz <= 32'he2676d19;
+      s_qv <= 0;
+      lcg_qv <= 32'h809ee6d2;
+    end else begin
+      cycle <= cycle + 1;
+      in_valid <= (cycle < 64);
+      if (cycle < 64) begin
+        s_rx <= lcg_rx[31:0];
+        lcg_rx <= lcg_rx * 32'd1664525 + 32'd1013904223;
+        s_ry <= lcg_ry[31:0];
+        lcg_ry <= lcg_ry * 32'd1664525 + 32'd1013904223;
+        s_rz <= lcg_rz[31:0];
+        lcg_rz <= lcg_rz * 32'd1664525 + 32'd1013904223;
+        s_qv <= lcg_qv[31:0];
+        lcg_qv <= lcg_qv * 32'd1664525 + 32'd1013904223;
+      end else begin
+        s_rx <= 0;
+        s_ry <= 0;
+        s_rz <= 0;
+        s_qv <= 0;
+      end
+    end
+  end
+
+  always @(posedge clk) begin
+    if (!rst && out_valid) begin
+      $display("RESULT pot %0d %h", out_index, s_pot);
+      out_index <= out_index + 1;
+    end
+    if (cycle == 103) begin
+      $display("REDUCTION potAcc %h", g_potAcc);
+      $display("DONE %0d", cycle);
+      $finish;
+    end
+  end
+
+endmodule

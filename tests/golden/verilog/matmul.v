@@ -1,0 +1,319 @@
+// golden Verilog snapshot for kernel 'matmul' (lanes 2, grid (8, 8), 64 items)
+
+// ==== file: matmul_l2_config.vh ====
+// configuration include for matmul_l2
+`define TYTRA_DESIGN "matmul_l2"
+`define TYTRA_LANES 2
+`define TYTRA_KERNEL "matmul_pe"
+`define TYTRA_PIPELINE_DEPTH 8
+`define TYTRA_WINDOW 0
+`define TYTRA_RTL_LATENCY 6
+`define TYTRA_NI 8
+`define TYTRA_NOFF 0
+`define TYTRA_NWPT 9
+`define TYTRA_STREAMS 18
+
+// ==== file: matmul_l2_cu.v ====
+// compute unit for design 'matmul_l2': 2 lane(s) of @matmul_pe
+module matmul_l2_cu (
+  input  wire clk,
+  input  wire rst,
+  input  wire in_valid,
+  output wire out_valid
+);
+
+  // ---- lane 0 ----
+  wire lane0_out_valid;
+  wire [31:0] a0_lane0; // fed by stream control
+  wire [31:0] a1_lane0; // fed by stream control
+  wire [31:0] a2_lane0; // fed by stream control
+  wire [31:0] a3_lane0; // fed by stream control
+  wire [31:0] b0_lane0; // fed by stream control
+  wire [31:0] b1_lane0; // fed by stream control
+  wire [31:0] b2_lane0; // fed by stream control
+  wire [31:0] b3_lane0; // fed by stream control
+  matmul_pe_kernel lane0 (.clk(clk), .rst(rst), .in_valid(in_valid), .out_valid(lane0_out_valid), .s_a0(a0_lane0), .s_a1(a1_lane0), .s_a2(a2_lane0), .s_a3(a3_lane0), .s_b0(b0_lane0), .s_b1(b1_lane0), .s_b2(b2_lane0), .s_b3(b3_lane0));
+
+  // ---- lane 1 ----
+  wire lane1_out_valid;
+  wire [31:0] a0_lane1; // fed by stream control
+  wire [31:0] a1_lane1; // fed by stream control
+  wire [31:0] a2_lane1; // fed by stream control
+  wire [31:0] a3_lane1; // fed by stream control
+  wire [31:0] b0_lane1; // fed by stream control
+  wire [31:0] b1_lane1; // fed by stream control
+  wire [31:0] b2_lane1; // fed by stream control
+  wire [31:0] b3_lane1; // fed by stream control
+  matmul_pe_kernel lane1 (.clk(clk), .rst(rst), .in_valid(in_valid), .out_valid(lane1_out_valid), .s_a0(a0_lane1), .s_a1(a1_lane1), .s_a2(a2_lane1), .s_a3(a3_lane1), .s_b0(b0_lane1), .s_b1(b1_lane1), .s_b2(b2_lane1), .s_b3(b3_lane1));
+
+  assign out_valid = lane0_out_valid & lane1_out_valid;
+endmodule
+
+// ==== file: matmul_pe_kernel.v ====
+// kernel pipeline for @matmul_pe (depth 8, II 1, window 0, latency 6)
+module matmul_pe_kernel (
+  input  wire clk,
+  input  wire rst,
+  input  wire in_valid,
+  output wire out_valid,
+  input  wire [31:0] s_a0,
+  input  wire [31:0] s_a1,
+  input  wire [31:0] s_a2,
+  input  wire [31:0] s_a3,
+  input  wire [31:0] s_b0,
+  input  wire [31:0] s_b1,
+  input  wire [31:0] s_b2,
+  input  wire [31:0] s_b3,
+  output wire [31:0] s_c,
+  output reg  [31:0] g_cAcc
+);
+
+  reg [5:0] valid_sr;
+  always @(posedge clk) begin
+    if (rst) valid_sr <= 0;
+    else     valid_sr <= {valid_sr, in_valid};
+  end
+  assign out_valid = valid_sr[5];
+
+  // input stream %a0 aligned by 0 cycle(s)
+  wire [31:0] w_a0 = s_a0;
+
+  // input stream %a1 aligned by 0 cycle(s)
+  wire [31:0] w_a1 = s_a1;
+
+  // input stream %a2 aligned by 0 cycle(s)
+  wire [31:0] w_a2 = s_a2;
+
+  // input stream %a3 aligned by 0 cycle(s)
+  wire [31:0] w_a3 = s_a3;
+
+  // input stream %b0 aligned by 0 cycle(s)
+  wire [31:0] w_b0 = s_b0;
+
+  // input stream %b1 aligned by 0 cycle(s)
+  wire [31:0] w_b1 = s_b1;
+
+  // input stream %b2 aligned by 0 cycle(s)
+  wire [31:0] w_b2 = s_b2;
+
+  // input stream %b3 aligned by 0 cycle(s)
+  wire [31:0] w_b3 = s_b3;
+
+  // %1 = mul (stage 0, 3 cycle(s))
+  reg [31:0] r_v1;
+  reg [31:0] r_v1_p1;
+  reg [31:0] r_v1_p2;
+  always @(posedge clk) begin
+    r_v1 <= w_a0 * w_b0;
+    r_v1_p1 <= r_v1;
+    r_v1_p2 <= r_v1_p1;
+  end
+  wire [31:0] w_v1 = r_v1_p2;
+
+  // %2 = mul (stage 0, 3 cycle(s))
+  reg [31:0] r_v2;
+  reg [31:0] r_v2_p1;
+  reg [31:0] r_v2_p2;
+  always @(posedge clk) begin
+    r_v2 <= w_a1 * w_b1;
+    r_v2_p1 <= r_v2;
+    r_v2_p2 <= r_v2_p1;
+  end
+  wire [31:0] w_v2 = r_v2_p2;
+
+  // %3 = mul (stage 0, 3 cycle(s))
+  reg [31:0] r_v3;
+  reg [31:0] r_v3_p1;
+  reg [31:0] r_v3_p2;
+  always @(posedge clk) begin
+    r_v3 <= w_a2 * w_b2;
+    r_v3_p1 <= r_v3;
+    r_v3_p2 <= r_v3_p1;
+  end
+  wire [31:0] w_v3 = r_v3_p2;
+
+  // %4 = mul (stage 0, 3 cycle(s))
+  reg [31:0] r_v4;
+  reg [31:0] r_v4_p1;
+  reg [31:0] r_v4_p2;
+  always @(posedge clk) begin
+    r_v4 <= w_a3 * w_b3;
+    r_v4_p1 <= r_v4;
+    r_v4_p2 <= r_v4_p1;
+  end
+  wire [31:0] w_v4 = r_v4_p2;
+
+  // %5 = add (stage 3, 1 cycle(s))
+  reg [31:0] r_v5;
+  always @(posedge clk) begin
+    r_v5 <= w_v1 + w_v2;
+  end
+  wire [31:0] w_v5 = r_v5;
+
+  // balance %3 by 1 cycle(s)
+  reg [31:0] balbuf_v3_d1 [0:0];
+  integer i_balbuf_v3_d1;
+  always @(posedge clk) begin
+    balbuf_v3_d1[0] <= w_v3;
+    for (i_balbuf_v3_d1 = 1; i_balbuf_v3_d1 < 1; i_balbuf_v3_d1 = i_balbuf_v3_d1 + 1)
+      balbuf_v3_d1[i_balbuf_v3_d1] <= balbuf_v3_d1[i_balbuf_v3_d1 - 1];
+  end
+  wire [31:0] w_v3_d1 = balbuf_v3_d1[0];
+
+  // %6 = add (stage 4, 1 cycle(s))
+  reg [31:0] r_v6;
+  always @(posedge clk) begin
+    r_v6 <= w_v5 + w_v3_d1;
+  end
+  wire [31:0] w_v6 = r_v6;
+
+  // balance %4 by 2 cycle(s)
+  reg [31:0] balbuf_v4_d2 [0:1];
+  integer i_balbuf_v4_d2;
+  always @(posedge clk) begin
+    balbuf_v4_d2[0] <= w_v4;
+    for (i_balbuf_v4_d2 = 1; i_balbuf_v4_d2 < 2; i_balbuf_v4_d2 = i_balbuf_v4_d2 + 1)
+      balbuf_v4_d2[i_balbuf_v4_d2] <= balbuf_v4_d2[i_balbuf_v4_d2 - 1];
+  end
+  wire [31:0] w_v4_d2 = balbuf_v4_d2[1];
+
+  // %c = add (stage 5, 1 cycle(s))
+  reg [31:0] r_c;
+  always @(posedge clk) begin
+    r_c <= w_v6 + w_v4_d2;
+  end
+  wire [31:0] w_c = r_c;
+
+  // reduction @cAcc (stage 6)
+  always @(posedge clk) begin
+    if (rst) g_cAcc <= 0;
+    else if (valid_sr[5]) g_cAcc <= w_c + g_cAcc;
+  end
+
+  assign s_c = w_c;
+endmodule
+
+// ==== file: testbench.v ====
+// Auto-generated testbench for @matmul_pe (RTL latency 6, 64 work-items, stimulus seed 0x7c0ffee)
+`timescale 1ns/1ps
+module tb_matmul_pe;
+
+  reg clk = 1'b0;
+  reg rst = 1'b1;
+  reg in_valid = 1'b0;
+  wire out_valid;
+  integer cycle = 0;
+  integer out_index = 0;
+
+  always #2.5 clk = ~clk;
+
+  reg [31:0] s_a0;
+  reg [31:0] lcg_a0;  // stream 0 LCG state
+  reg [31:0] s_a1;
+  reg [31:0] lcg_a1;  // stream 1 LCG state
+  reg [31:0] s_a2;
+  reg [31:0] lcg_a2;  // stream 2 LCG state
+  reg [31:0] s_a3;
+  reg [31:0] lcg_a3;  // stream 3 LCG state
+  reg [31:0] s_b0;
+  reg [31:0] lcg_b0;  // stream 4 LCG state
+  reg [31:0] s_b1;
+  reg [31:0] lcg_b1;  // stream 5 LCG state
+  reg [31:0] s_b2;
+  reg [31:0] lcg_b2;  // stream 6 LCG state
+  reg [31:0] s_b3;
+  reg [31:0] lcg_b3;  // stream 7 LCG state
+
+  wire [31:0] s_c;
+  wire [31:0] g_cAcc;
+
+  matmul_pe_kernel dut (
+    .clk(clk),
+    .rst(rst),
+    .in_valid(in_valid),
+    .out_valid(out_valid),
+    .s_a0(s_a0),
+    .s_a1(s_a1),
+    .s_a2(s_a2),
+    .s_a3(s_a3),
+    .s_b0(s_b0),
+    .s_b1(s_b1),
+    .s_b2(s_b2),
+    .s_b3(s_b3),
+    .s_c(s_c),
+    .g_cAcc(g_cAcc)
+  );
+
+  initial begin
+    $dumpfile("tb_matmul_pe.vcd");
+    $dumpvars(0, tb_matmul_pe);
+    repeat (12) @(posedge clk);  // flush un-reset delay lines with zeros
+    rst = 1'b0;
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      cycle <= 0;
+      in_valid <= 1'b0;
+      s_a0 <= 0;
+      lcg_a0 <= 32'ha5f879a7;
+      s_a1 <= 0;
+      lcg_a1 <= 32'h442ff360;
+      s_a2 <= 0;
+      lcg_a2 <= 32'he2676d19;
+      s_a3 <= 0;
+      lcg_a3 <= 32'h809ee6d2;
+      s_b0 <= 0;
+      lcg_b0 <= 32'h1ed6608b;
+      s_b1 <= 0;
+      lcg_b1 <= 32'hbd0dda44;
+      s_b2 <= 0;
+      lcg_b2 <= 32'h5b4553fd;
+      s_b3 <= 0;
+      lcg_b3 <= 32'hf97ccdb6;
+    end else begin
+      cycle <= cycle + 1;
+      in_valid <= (cycle < 64);
+      if (cycle < 64) begin
+        s_a0 <= lcg_a0[31:0];
+        lcg_a0 <= lcg_a0 * 32'd1664525 + 32'd1013904223;
+        s_a1 <= lcg_a1[31:0];
+        lcg_a1 <= lcg_a1 * 32'd1664525 + 32'd1013904223;
+        s_a2 <= lcg_a2[31:0];
+        lcg_a2 <= lcg_a2 * 32'd1664525 + 32'd1013904223;
+        s_a3 <= lcg_a3[31:0];
+        lcg_a3 <= lcg_a3 * 32'd1664525 + 32'd1013904223;
+        s_b0 <= lcg_b0[31:0];
+        lcg_b0 <= lcg_b0 * 32'd1664525 + 32'd1013904223;
+        s_b1 <= lcg_b1[31:0];
+        lcg_b1 <= lcg_b1 * 32'd1664525 + 32'd1013904223;
+        s_b2 <= lcg_b2[31:0];
+        lcg_b2 <= lcg_b2 * 32'd1664525 + 32'd1013904223;
+        s_b3 <= lcg_b3[31:0];
+        lcg_b3 <= lcg_b3 * 32'd1664525 + 32'd1013904223;
+      end else begin
+        s_a0 <= 0;
+        s_a1 <= 0;
+        s_a2 <= 0;
+        s_a3 <= 0;
+        s_b0 <= 0;
+        s_b1 <= 0;
+        s_b2 <= 0;
+        s_b3 <= 0;
+      end
+    end
+  end
+
+  always @(posedge clk) begin
+    if (!rst && out_valid) begin
+      $display("RESULT c %0d %h", out_index, s_c);
+      out_index <= out_index + 1;
+    end
+    if (cycle == 88) begin
+      $display("REDUCTION cAcc %h", g_cAcc);
+      $display("DONE %0d", cycle);
+      $finish;
+    end
+  end
+
+endmodule

@@ -1,0 +1,225 @@
+// golden Verilog snapshot for kernel 'nw' (lanes 2, grid (8, 8), 64 items)
+
+// ==== file: nw_l2_config.vh ====
+// configuration include for nw_l2
+`define TYTRA_DESIGN "nw_l2"
+`define TYTRA_LANES 2
+`define TYTRA_KERNEL "nw_pe"
+`define TYTRA_PIPELINE_DEPTH 5
+`define TYTRA_WINDOW 0
+`define TYTRA_RTL_LATENCY 3
+`define TYTRA_NI 6
+`define TYTRA_NOFF 9
+`define TYTRA_NWPT 3
+`define TYTRA_STREAMS 6
+
+// ==== file: nw_l2_cu.v ====
+// compute unit for design 'nw_l2': 2 lane(s) of @nw_pe
+module nw_l2_cu (
+  input  wire clk,
+  input  wire rst,
+  input  wire in_valid,
+  output wire out_valid
+);
+
+  // ---- lane 0 ----
+  wire lane0_out_valid;
+  wire [19:0] h_lane0; // fed by stream control
+  wire [19:0] sub_lane0; // fed by stream control
+  nw_pe_kernel lane0 (.clk(clk), .rst(rst), .in_valid(in_valid), .out_valid(lane0_out_valid), .s_h(h_lane0), .s_sub(sub_lane0));
+
+  // ---- lane 1 ----
+  wire lane1_out_valid;
+  wire [19:0] h_lane1; // fed by stream control
+  wire [19:0] sub_lane1; // fed by stream control
+  nw_pe_kernel lane1 (.clk(clk), .rst(rst), .in_valid(in_valid), .out_valid(lane1_out_valid), .s_h(h_lane1), .s_sub(sub_lane1));
+
+  assign out_valid = lane0_out_valid & lane1_out_valid;
+endmodule
+
+// ==== file: nw_pe_kernel.v ====
+// kernel pipeline for @nw_pe (depth 5, II 1, window 0, latency 3)
+module nw_pe_kernel (
+  input  wire clk,
+  input  wire rst,
+  input  wire in_valid,
+  output wire out_valid,
+  input  wire [19:0] s_h,
+  input  wire [19:0] s_sub,
+  output wire [19:0] s_h_new,
+  output reg  [19:0] g_bestScore
+);
+
+  reg [2:0] valid_sr;
+  always @(posedge clk) begin
+    if (rst) valid_sr <= 0;
+    else     valid_sr <= {valid_sr, in_valid};
+  end
+  assign out_valid = valid_sr[2];
+
+  // input stream %h aligned by 0 cycle(s)
+  wire [19:0] w_h = s_h;
+
+  // input stream %sub aligned by 0 cycle(s)
+  wire [19:0] w_sub = s_sub;
+
+  // offset stream %h_n1 = %h offset -1 (delay 1)
+  reg [19:0] offbuf_h_n1 [0:0];
+  integer i_offbuf_h_n1;
+  always @(posedge clk) begin
+    offbuf_h_n1[0] <= s_h;
+    for (i_offbuf_h_n1 = 1; i_offbuf_h_n1 < 1; i_offbuf_h_n1 = i_offbuf_h_n1 + 1)
+      offbuf_h_n1[i_offbuf_h_n1] <= offbuf_h_n1[i_offbuf_h_n1 - 1];
+  end
+  wire [19:0] w_h_n1 = offbuf_h_n1[0];
+
+  // offset stream %h_nND1 = %h offset -ND1 (delay 8)
+  reg [19:0] offbuf_h_nND1 [0:7];
+  integer i_offbuf_h_nND1;
+  always @(posedge clk) begin
+    offbuf_h_nND1[0] <= s_h;
+    for (i_offbuf_h_nND1 = 1; i_offbuf_h_nND1 < 8; i_offbuf_h_nND1 = i_offbuf_h_nND1 + 1)
+      offbuf_h_nND1[i_offbuf_h_nND1] <= offbuf_h_nND1[i_offbuf_h_nND1 - 1];
+  end
+  wire [19:0] w_h_nND1 = offbuf_h_nND1[7];
+
+  // offset stream %h_nND1n1 = %h offset -ND1-1 (delay 9)
+  reg [19:0] offbuf_h_nND1n1 [0:8];
+  integer i_offbuf_h_nND1n1;
+  always @(posedge clk) begin
+    offbuf_h_nND1n1[0] <= s_h;
+    for (i_offbuf_h_nND1n1 = 1; i_offbuf_h_nND1n1 < 9; i_offbuf_h_nND1n1 = i_offbuf_h_nND1n1 + 1)
+      offbuf_h_nND1n1[i_offbuf_h_nND1n1] <= offbuf_h_nND1n1[i_offbuf_h_nND1n1 - 1];
+  end
+  wire [19:0] w_h_nND1n1 = offbuf_h_nND1n1[8];
+
+  // %1 = sub (stage 0, 1 cycle(s))
+  reg [19:0] r_v1;
+  always @(posedge clk) begin
+    r_v1 <= w_h_n1 - 20'd64;
+  end
+  wire [19:0] w_v1 = r_v1;
+
+  // %2 = sub (stage 0, 1 cycle(s))
+  reg [19:0] r_v2;
+  always @(posedge clk) begin
+    r_v2 <= w_h_nND1 - 20'd64;
+  end
+  wire [19:0] w_v2 = r_v2;
+
+  // %3 = add (stage 0, 1 cycle(s))
+  reg [19:0] r_v3;
+  always @(posedge clk) begin
+    r_v3 <= w_h_nND1n1 + w_sub;
+  end
+  wire [19:0] w_v3 = r_v3;
+
+  // %4 = max (stage 1, 1 cycle(s))
+  reg [19:0] r_v4;
+  always @(posedge clk) begin
+    r_v4 <= (w_v1 > w_v2) ? w_v1 : w_v2;
+  end
+  wire [19:0] w_v4 = r_v4;
+
+  // balance %3 by 1 cycle(s)
+  reg [19:0] balbuf_v3_d1 [0:0];
+  integer i_balbuf_v3_d1;
+  always @(posedge clk) begin
+    balbuf_v3_d1[0] <= w_v3;
+    for (i_balbuf_v3_d1 = 1; i_balbuf_v3_d1 < 1; i_balbuf_v3_d1 = i_balbuf_v3_d1 + 1)
+      balbuf_v3_d1[i_balbuf_v3_d1] <= balbuf_v3_d1[i_balbuf_v3_d1 - 1];
+  end
+  wire [19:0] w_v3_d1 = balbuf_v3_d1[0];
+
+  // %h_new = max (stage 2, 1 cycle(s))
+  reg [19:0] r_h_new;
+  always @(posedge clk) begin
+    r_h_new <= (w_v3_d1 > w_v4) ? w_v3_d1 : w_v4;
+  end
+  wire [19:0] w_h_new = r_h_new;
+
+  // reduction @bestScore (stage 3)
+  always @(posedge clk) begin
+    if (rst) g_bestScore <= 0;
+    else if (valid_sr[2]) g_bestScore <= (w_h_new > g_bestScore) ? w_h_new : g_bestScore;
+  end
+
+  assign s_h_new = w_h_new;
+endmodule
+
+// ==== file: testbench.v ====
+// Auto-generated testbench for @nw_pe (RTL latency 3, 64 work-items, stimulus seed 0x7c0ffee)
+`timescale 1ns/1ps
+module tb_nw_pe;
+
+  reg clk = 1'b0;
+  reg rst = 1'b1;
+  reg in_valid = 1'b0;
+  wire out_valid;
+  integer cycle = 0;
+  integer out_index = 0;
+
+  always #2.5 clk = ~clk;
+
+  reg [19:0] s_h;
+  reg [31:0] lcg_h;  // stream 0 LCG state
+  reg [19:0] s_sub;
+  reg [31:0] lcg_sub;  // stream 1 LCG state
+
+  wire [19:0] s_h_new;
+  wire [19:0] g_bestScore;
+
+  nw_pe_kernel dut (
+    .clk(clk),
+    .rst(rst),
+    .in_valid(in_valid),
+    .out_valid(out_valid),
+    .s_h(s_h),
+    .s_sub(s_sub),
+    .s_h_new(s_h_new),
+    .g_bestScore(g_bestScore)
+  );
+
+  initial begin
+    $dumpfile("tb_nw_pe.vcd");
+    $dumpvars(0, tb_nw_pe);
+    repeat (18) @(posedge clk);  // flush un-reset delay lines with zeros
+    rst = 1'b0;
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      cycle <= 0;
+      in_valid <= 1'b0;
+      s_h <= 0;
+      lcg_h <= 32'ha5f879a7;
+      s_sub <= 0;
+      lcg_sub <= 32'h442ff360;
+    end else begin
+      cycle <= cycle + 1;
+      in_valid <= (cycle < 64);
+      if (cycle < 64) begin
+        s_h <= lcg_h[19:0];
+        lcg_h <= lcg_h * 32'd1664525 + 32'd1013904223;
+        s_sub <= lcg_sub[19:0];
+        lcg_sub <= lcg_sub * 32'd1664525 + 32'd1013904223;
+      end else begin
+        s_h <= 0;
+        s_sub <= 0;
+      end
+    end
+  end
+
+  always @(posedge clk) begin
+    if (!rst && out_valid) begin
+      $display("RESULT h_new %0d %h", out_index, s_h_new);
+      out_index <= out_index + 1;
+    end
+    if (cycle == 85) begin
+      $display("REDUCTION bestScore %h", g_bestScore);
+      $display("DONE %0d", cycle);
+      $finish;
+    end
+  end
+
+endmodule

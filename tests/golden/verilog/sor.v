@@ -1,0 +1,384 @@
+// golden Verilog snapshot for kernel 'sor' (lanes 2, grid (8, 8, 8), 64 items)
+
+// ==== file: sor_l2_config.vh ====
+// configuration include for sor_l2
+`define TYTRA_DESIGN "sor_l2"
+`define TYTRA_LANES 2
+`define TYTRA_KERNEL "sor_pe"
+`define TYTRA_PIPELINE_DEPTH 16
+`define TYTRA_WINDOW 64
+`define TYTRA_RTL_LATENCY 77
+`define TYTRA_NI 16
+`define TYTRA_NOFF 64
+`define TYTRA_NWPT 3
+`define TYTRA_STREAMS 6
+
+// ==== file: sor_l2_cu.v ====
+// compute unit for design 'sor_l2': 2 lane(s) of @sor_pe
+module sor_l2_cu (
+  input  wire clk,
+  input  wire rst,
+  input  wire in_valid,
+  output wire out_valid
+);
+
+  // ---- lane 0 ----
+  wire lane0_out_valid;
+  wire [17:0] p_lane0; // fed by stream control
+  wire [17:0] rhs_lane0; // fed by stream control
+  sor_pe_kernel lane0 (.clk(clk), .rst(rst), .in_valid(in_valid), .out_valid(lane0_out_valid), .s_p(p_lane0), .s_rhs(rhs_lane0));
+
+  // ---- lane 1 ----
+  wire lane1_out_valid;
+  wire [17:0] p_lane1; // fed by stream control
+  wire [17:0] rhs_lane1; // fed by stream control
+  sor_pe_kernel lane1 (.clk(clk), .rst(rst), .in_valid(in_valid), .out_valid(lane1_out_valid), .s_p(p_lane1), .s_rhs(rhs_lane1));
+
+  assign out_valid = lane0_out_valid & lane1_out_valid;
+endmodule
+
+// ==== file: sor_pe_kernel.v ====
+// kernel pipeline for @sor_pe (depth 16, II 1, window 64, latency 77)
+module sor_pe_kernel (
+  input  wire clk,
+  input  wire rst,
+  input  wire in_valid,
+  output wire out_valid,
+  input  wire [17:0] s_p,
+  input  wire [17:0] s_rhs,
+  output wire [17:0] s_p_new,
+  output reg  [17:0] g_sorErrAcc
+);
+
+  reg [77:0] valid_sr;
+  always @(posedge clk) begin
+    if (rst) valid_sr <= 0;
+    else     valid_sr <= {valid_sr, in_valid};
+  end
+  assign out_valid = valid_sr[76];
+
+  // input stream %p aligned by 64 cycle(s)
+  reg [17:0] argbuf_p [0:63];
+  integer i_argbuf_p;
+  always @(posedge clk) begin
+    argbuf_p[0] <= s_p;
+    for (i_argbuf_p = 1; i_argbuf_p < 64; i_argbuf_p = i_argbuf_p + 1)
+      argbuf_p[i_argbuf_p] <= argbuf_p[i_argbuf_p - 1];
+  end
+  wire [17:0] w_p = argbuf_p[63];
+
+  // input stream %rhs aligned by 64 cycle(s)
+  reg [17:0] argbuf_rhs [0:63];
+  integer i_argbuf_rhs;
+  always @(posedge clk) begin
+    argbuf_rhs[0] <= s_rhs;
+    for (i_argbuf_rhs = 1; i_argbuf_rhs < 64; i_argbuf_rhs = i_argbuf_rhs + 1)
+      argbuf_rhs[i_argbuf_rhs] <= argbuf_rhs[i_argbuf_rhs - 1];
+  end
+  wire [17:0] w_rhs = argbuf_rhs[63];
+
+  // offset stream %p_1 = %p offset 1 (delay 63)
+  reg [17:0] offbuf_p_1 [0:62];
+  integer i_offbuf_p_1;
+  always @(posedge clk) begin
+    offbuf_p_1[0] <= s_p;
+    for (i_offbuf_p_1 = 1; i_offbuf_p_1 < 63; i_offbuf_p_1 = i_offbuf_p_1 + 1)
+      offbuf_p_1[i_offbuf_p_1] <= offbuf_p_1[i_offbuf_p_1 - 1];
+  end
+  wire [17:0] w_p_1 = offbuf_p_1[62];
+
+  // offset stream %p_n1 = %p offset -1 (delay 65)
+  reg [17:0] offbuf_p_n1 [0:64];
+  integer i_offbuf_p_n1;
+  always @(posedge clk) begin
+    offbuf_p_n1[0] <= s_p;
+    for (i_offbuf_p_n1 = 1; i_offbuf_p_n1 < 65; i_offbuf_p_n1 = i_offbuf_p_n1 + 1)
+      offbuf_p_n1[i_offbuf_p_n1] <= offbuf_p_n1[i_offbuf_p_n1 - 1];
+  end
+  wire [17:0] w_p_n1 = offbuf_p_n1[64];
+
+  // offset stream %p_pND1 = %p offset +ND1 (delay 56)
+  reg [17:0] offbuf_p_pND1 [0:55];
+  integer i_offbuf_p_pND1;
+  always @(posedge clk) begin
+    offbuf_p_pND1[0] <= s_p;
+    for (i_offbuf_p_pND1 = 1; i_offbuf_p_pND1 < 56; i_offbuf_p_pND1 = i_offbuf_p_pND1 + 1)
+      offbuf_p_pND1[i_offbuf_p_pND1] <= offbuf_p_pND1[i_offbuf_p_pND1 - 1];
+  end
+  wire [17:0] w_p_pND1 = offbuf_p_pND1[55];
+
+  // offset stream %p_nND1 = %p offset -ND1 (delay 72)
+  reg [17:0] offbuf_p_nND1 [0:71];
+  integer i_offbuf_p_nND1;
+  always @(posedge clk) begin
+    offbuf_p_nND1[0] <= s_p;
+    for (i_offbuf_p_nND1 = 1; i_offbuf_p_nND1 < 72; i_offbuf_p_nND1 = i_offbuf_p_nND1 + 1)
+      offbuf_p_nND1[i_offbuf_p_nND1] <= offbuf_p_nND1[i_offbuf_p_nND1 - 1];
+  end
+  wire [17:0] w_p_nND1 = offbuf_p_nND1[71];
+
+  // offset stream %p_pND1xND2 = %p offset +ND1*ND2 (delay 0)
+  wire [17:0] w_p_pND1xND2 = s_p;
+
+  // offset stream %p_nND1xND2 = %p offset -ND1*ND2 (delay 128)
+  reg [17:0] offbuf_p_nND1xND2 [0:127];
+  integer i_offbuf_p_nND1xND2;
+  always @(posedge clk) begin
+    offbuf_p_nND1xND2[0] <= s_p;
+    for (i_offbuf_p_nND1xND2 = 1; i_offbuf_p_nND1xND2 < 128; i_offbuf_p_nND1xND2 = i_offbuf_p_nND1xND2 + 1)
+      offbuf_p_nND1xND2[i_offbuf_p_nND1xND2] <= offbuf_p_nND1xND2[i_offbuf_p_nND1xND2 - 1];
+  end
+  wire [17:0] w_p_nND1xND2 = offbuf_p_nND1xND2[127];
+
+  // %1 = mul (stage 0, 3 cycle(s))
+  reg [17:0] r_v1;
+  reg [17:0] r_v1_p1;
+  reg [17:0] r_v1_p2;
+  always @(posedge clk) begin
+    r_v1 <= w_p_1 * 18'd1024;
+    r_v1_p1 <= r_v1;
+    r_v1_p2 <= r_v1_p1;
+  end
+  wire [17:0] w_v1 = r_v1_p2;
+
+  // %2 = mul (stage 0, 3 cycle(s))
+  reg [17:0] r_v2;
+  reg [17:0] r_v2_p1;
+  reg [17:0] r_v2_p2;
+  always @(posedge clk) begin
+    r_v2 <= w_p_n1 * 18'd1024;
+    r_v2_p1 <= r_v2;
+    r_v2_p2 <= r_v2_p1;
+  end
+  wire [17:0] w_v2 = r_v2_p2;
+
+  // %3 = mul (stage 0, 3 cycle(s))
+  reg [17:0] r_v3;
+  reg [17:0] r_v3_p1;
+  reg [17:0] r_v3_p2;
+  always @(posedge clk) begin
+    r_v3 <= w_p_pND1 * 18'd1024;
+    r_v3_p1 <= r_v3;
+    r_v3_p2 <= r_v3_p1;
+  end
+  wire [17:0] w_v3 = r_v3_p2;
+
+  // %4 = mul (stage 0, 3 cycle(s))
+  reg [17:0] r_v4;
+  reg [17:0] r_v4_p1;
+  reg [17:0] r_v4_p2;
+  always @(posedge clk) begin
+    r_v4 <= w_p_nND1 * 18'd1024;
+    r_v4_p1 <= r_v4;
+    r_v4_p2 <= r_v4_p1;
+  end
+  wire [17:0] w_v4 = r_v4_p2;
+
+  // %5 = mul (stage 0, 3 cycle(s))
+  reg [17:0] r_v5;
+  reg [17:0] r_v5_p1;
+  reg [17:0] r_v5_p2;
+  always @(posedge clk) begin
+    r_v5 <= w_p_pND1xND2 * 18'd1024;
+    r_v5_p1 <= r_v5;
+    r_v5_p2 <= r_v5_p1;
+  end
+  wire [17:0] w_v5 = r_v5_p2;
+
+  // %6 = mul (stage 0, 3 cycle(s))
+  reg [17:0] r_v6;
+  reg [17:0] r_v6_p1;
+  reg [17:0] r_v6_p2;
+  always @(posedge clk) begin
+    r_v6 <= w_p_nND1xND2 * 18'd1024;
+    r_v6_p1 <= r_v6;
+    r_v6_p2 <= r_v6_p1;
+  end
+  wire [17:0] w_v6 = r_v6_p2;
+
+  // %7 = add (stage 3, 1 cycle(s))
+  reg [17:0] r_v7;
+  always @(posedge clk) begin
+    r_v7 <= w_v1 + w_v2;
+  end
+  wire [17:0] w_v7 = r_v7;
+
+  // %8 = add (stage 3, 1 cycle(s))
+  reg [17:0] r_v8;
+  always @(posedge clk) begin
+    r_v8 <= w_v3 + w_v4;
+  end
+  wire [17:0] w_v8 = r_v8;
+
+  // %9 = add (stage 3, 1 cycle(s))
+  reg [17:0] r_v9;
+  always @(posedge clk) begin
+    r_v9 <= w_v5 + w_v6;
+  end
+  wire [17:0] w_v9 = r_v9;
+
+  // %10 = add (stage 4, 1 cycle(s))
+  reg [17:0] r_v10;
+  always @(posedge clk) begin
+    r_v10 <= w_v7 + w_v8;
+  end
+  wire [17:0] w_v10 = r_v10;
+
+  // balance %9 by 1 cycle(s)
+  reg [17:0] balbuf_v9_d1 [0:0];
+  integer i_balbuf_v9_d1;
+  always @(posedge clk) begin
+    balbuf_v9_d1[0] <= w_v9;
+    for (i_balbuf_v9_d1 = 1; i_balbuf_v9_d1 < 1; i_balbuf_v9_d1 = i_balbuf_v9_d1 + 1)
+      balbuf_v9_d1[i_balbuf_v9_d1] <= balbuf_v9_d1[i_balbuf_v9_d1 - 1];
+  end
+  wire [17:0] w_v9_d1 = balbuf_v9_d1[0];
+
+  // %11 = add (stage 5, 1 cycle(s))
+  reg [17:0] r_v11;
+  always @(posedge clk) begin
+    r_v11 <= w_v10 + w_v9_d1;
+  end
+  wire [17:0] w_v11 = r_v11;
+
+  // %12 = mul (stage 6, 3 cycle(s))
+  reg [17:0] r_v12;
+  reg [17:0] r_v12_p1;
+  reg [17:0] r_v12_p2;
+  always @(posedge clk) begin
+    r_v12 <= w_v11 * 18'd171;
+    r_v12_p1 <= r_v12;
+    r_v12_p2 <= r_v12_p1;
+  end
+  wire [17:0] w_v12 = r_v12_p2;
+
+  // balance %rhs by 9 cycle(s)
+  reg [17:0] balbuf_rhs_d9 [0:8];
+  integer i_balbuf_rhs_d9;
+  always @(posedge clk) begin
+    balbuf_rhs_d9[0] <= w_rhs;
+    for (i_balbuf_rhs_d9 = 1; i_balbuf_rhs_d9 < 9; i_balbuf_rhs_d9 = i_balbuf_rhs_d9 + 1)
+      balbuf_rhs_d9[i_balbuf_rhs_d9] <= balbuf_rhs_d9[i_balbuf_rhs_d9 - 1];
+  end
+  wire [17:0] w_rhs_d9 = balbuf_rhs_d9[8];
+
+  // %13 = sub (stage 9, 1 cycle(s))
+  reg [17:0] r_v13;
+  always @(posedge clk) begin
+    r_v13 <= w_v12 - w_rhs_d9;
+  end
+  wire [17:0] w_v13 = r_v13;
+
+  // %p_new = mul (stage 10, 3 cycle(s))
+  reg [17:0] r_p_new;
+  reg [17:0] r_p_new_p1;
+  reg [17:0] r_p_new_p2;
+  always @(posedge clk) begin
+    r_p_new <= w_v13 * 18'd1024;
+    r_p_new_p1 <= r_p_new;
+    r_p_new_p2 <= r_p_new_p1;
+  end
+  wire [17:0] w_p_new = r_p_new_p2;
+
+  // balance %p by 13 cycle(s)
+  reg [17:0] balbuf_p_d13 [0:12];
+  integer i_balbuf_p_d13;
+  always @(posedge clk) begin
+    balbuf_p_d13[0] <= w_p;
+    for (i_balbuf_p_d13 = 1; i_balbuf_p_d13 < 13; i_balbuf_p_d13 = i_balbuf_p_d13 + 1)
+      balbuf_p_d13[i_balbuf_p_d13] <= balbuf_p_d13[i_balbuf_p_d13 - 1];
+  end
+  wire [17:0] w_p_d13 = balbuf_p_d13[12];
+
+  // %14 = sub (stage 13, 1 cycle(s))
+  reg [17:0] r_v14;
+  always @(posedge clk) begin
+    r_v14 <= w_p_new - w_p_d13;
+  end
+  wire [17:0] w_v14 = r_v14;
+
+  // reduction @sorErrAcc (stage 14)
+  always @(posedge clk) begin
+    if (rst) g_sorErrAcc <= 0;
+    else if (valid_sr[77]) g_sorErrAcc <= w_v14 + g_sorErrAcc;
+  end
+
+  assign s_p_new = w_p_new;
+endmodule
+
+// ==== file: testbench.v ====
+// Auto-generated testbench for @sor_pe (RTL latency 77, 64 work-items, stimulus seed 0x7c0ffee)
+`timescale 1ns/1ps
+module tb_sor_pe;
+
+  reg clk = 1'b0;
+  reg rst = 1'b1;
+  reg in_valid = 1'b0;
+  wire out_valid;
+  integer cycle = 0;
+  integer out_index = 0;
+
+  always #2.5 clk = ~clk;
+
+  reg [17:0] s_p;
+  reg [31:0] lcg_p;  // stream 0 LCG state
+  reg [17:0] s_rhs;
+  reg [31:0] lcg_rhs;  // stream 1 LCG state
+
+  wire [17:0] s_p_new;
+  wire [17:0] g_sorErrAcc;
+
+  sor_pe_kernel dut (
+    .clk(clk),
+    .rst(rst),
+    .in_valid(in_valid),
+    .out_valid(out_valid),
+    .s_p(s_p),
+    .s_rhs(s_rhs),
+    .s_p_new(s_p_new),
+    .g_sorErrAcc(g_sorErrAcc)
+  );
+
+  initial begin
+    $dumpfile("tb_sor_pe.vcd");
+    $dumpvars(0, tb_sor_pe);
+    repeat (148) @(posedge clk);  // flush un-reset delay lines with zeros
+    rst = 1'b0;
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      cycle <= 0;
+      in_valid <= 1'b0;
+      s_p <= 0;
+      lcg_p <= 32'ha5f879a7;
+      s_rhs <= 0;
+      lcg_rhs <= 32'h442ff360;
+    end else begin
+      cycle <= cycle + 1;
+      in_valid <= (cycle < 64);
+      if (cycle < 64) begin
+        s_p <= lcg_p[17:0];
+        lcg_p <= lcg_p * 32'd1664525 + 32'd1013904223;
+        s_rhs <= lcg_rhs[17:0];
+        lcg_rhs <= lcg_rhs * 32'd1664525 + 32'd1013904223;
+      end else begin
+        s_p <= 0;
+        s_rhs <= 0;
+      end
+    end
+  end
+
+  always @(posedge clk) begin
+    if (!rst && out_valid) begin
+      $display("RESULT p_new %0d %h", out_index, s_p_new);
+      out_index <= out_index + 1;
+    end
+    if (cycle == 160) begin
+      $display("REDUCTION sorErrAcc %h", g_sorErrAcc);
+      $display("DONE %0d", cycle);
+      $finish;
+    end
+  end
+
+endmodule

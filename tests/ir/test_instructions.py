@@ -137,6 +137,68 @@ class TestOffsetInstruction:
         assert off.resolved({"ND1": 5}) == -1
 
 
+class TestComparePredicates:
+    def test_predicate_accepted_on_icmp(self):
+        instr = Instruction("c", UI18, "icmp",
+                            [Operand.ssa("a"), Operand.ssa("b")], predicate="eq")
+        assert instr.qualified_opcode == "icmp.eq"
+        assert "icmp.eq" in str(instr)
+
+    def test_no_predicate_prints_bare_opcode(self):
+        instr = Instruction("c", UI18, "icmp",
+                            [Operand.ssa("a"), Operand.ssa("b")])
+        assert instr.qualified_opcode == "icmp"
+
+    def test_unknown_predicate_rejected(self):
+        import pytest
+
+        from repro.ir.errors import IRTypeError
+
+        with pytest.raises(IRTypeError):
+            Instruction("c", UI18, "icmp",
+                        [Operand.ssa("a"), Operand.ssa("b")], predicate="weird")
+
+    def test_predicate_on_non_compare_rejected(self):
+        import pytest
+
+        from repro.ir.errors import IRTypeError
+
+        with pytest.raises(IRTypeError):
+            Instruction("c", UI18, "add",
+                        [Operand.ssa("a"), Operand.ssa("b")], predicate="eq")
+
+    def test_predicate_round_trips_through_text(self):
+        from repro.ir.parser import parse_module
+        from repro.ir.printer import print_module
+        from repro.ir.builder import IRBuilder
+
+        b = IRBuilder("pred")
+        f = b.function("f0", kind="pipe", args=[(UI18, "a"), (UI18, "b")])
+        f.icmp(UI18, f.arg("a"), f.arg("b"), predicate="sge", result="c")
+        main = b.function("main", kind="none")
+        main.call("f0", ["a", "b"], kind="pipe")
+        module = b.build()
+        text = print_module(module)
+        assert "icmp.sge" in text
+        reparsed = parse_module(text)
+        instr = reparsed.get_function("f0").instructions()[0]
+        assert instr.opcode == "icmp" and instr.predicate == "sge"
+        assert print_module(reparsed) == text
+
+    def test_fingerprint_distinguishes_predicates(self):
+        from repro.ir.builder import IRBuilder
+
+        def build(predicate):
+            b = IRBuilder("pred")
+            f = b.function("f0", kind="pipe", args=[(UI18, "a"), (UI18, "b")])
+            f.icmp(UI18, f.arg("a"), f.arg("b"), predicate=predicate, result="c")
+            main = b.function("main", kind="none")
+            main.call("f0", ["a", "b"], kind="pipe")
+            return b.build()
+
+        assert build("eq").content_fingerprint() != build("ne").content_fingerprint()
+
+
 class TestCallInstruction:
     def test_basic(self):
         call = CallInstruction("@f0", ["%p", "%rhs"], kind="pipe")

@@ -32,6 +32,13 @@ class TestParser:
         assert parser.parse_args(["suite", "diff", "a.json", "b.json"]).suite_command == "diff"
         assert parser.parse_args(["suite", "record-golden"]).suite_command == "record-golden"
 
+    def test_flow_subcommands_registered(self):
+        parser = build_parser()
+        assert parser.parse_args(["flow", "run", "x.tirl"]).flow_command == "run"
+        assert parser.parse_args(["flow", "sim"]).flow_command == "sim"
+        assert parser.parse_args(["flow", "report", "r"]).flow_command == "report"
+        assert parser.parse_args(["suite", "flow"]).suite_command == "flow"
+
     def test_suite_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["suite"])
@@ -261,6 +268,75 @@ class TestSuiteCommand:
         assert {p.name for p in tmp_path.iterdir()} == {"sor.json"}
         payload = json.loads((tmp_path / "sor.json").read_text())
         assert payload["schema"].startswith("repro-validation-report/")
+
+
+class TestFlowCommand:
+    def test_flow_run_verifies_design(self, design_file, capsys):
+        rc = main(["flow", "run", str(design_file), "--items", "32", "--no-cache"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "0 mismatches" in out
+
+    def test_flow_sim_kernel_with_run_dir(self, tmp_path, capsys):
+        rc = main(["flow", "sim", "--kernel", "nw", "--grid", "8", "8",
+                   "--items", "32", "-o", str(tmp_path), "--no-cache"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "reductions match" in out
+        run_dirs = [p for p in tmp_path.iterdir() if p.is_dir()]
+        assert len(run_dirs) == 1
+        assert (run_dirs[0] / "result.json").exists()
+        assert (run_dirs[0] / "manifest.json").exists()
+
+    def test_flow_sim_json_payload(self, capsys):
+        rc = main(["flow", "sim", "--kernel", "matmul", "--grid", "8", "8",
+                   "--items", "16", "--json", "--no-cache"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["functional"]["output_mismatches"] == 0
+
+    def test_flow_report_reads_run_dir(self, tmp_path, capsys):
+        assert main(["flow", "sim", "--kernel", "nw", "--grid", "8", "8",
+                     "--items", "16", "-o", str(tmp_path), "--no-cache"]) == 0
+        capsys.readouterr()
+        run_dir = next(p for p in tmp_path.iterdir() if p.is_dir())
+        rc = main(["flow", "report", str(run_dir)])
+        assert rc == 0
+        assert "backend: pyrtl" in capsys.readouterr().out
+
+    def test_flow_sim_invalid_lanes(self, capsys):
+        rc = main(["flow", "sim", "--kernel", "nw", "--grid", "8", "8",
+                   "--lanes", "7"])
+        assert rc == 2
+
+    def test_suite_flow_tiny_grid_passes(self, capsys):
+        rc = main(["suite", "flow", "--tiny", "--kernels", "nw", "matmul",
+                   "--max-lanes", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verified" in out and "0 failing" in out
+
+    def test_suite_flow_writes_canonical_report(self, tmp_path, capsys):
+        path = tmp_path / "flow.json"
+        rc = main(["suite", "flow", "--tiny", "--kernels", "nw",
+                   "--max-lanes", "2", "-o", str(path), "--json"])
+        assert rc == 0
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro-flow-report/1"
+        assert capsys.readouterr().out == path.read_text()
+
+    def test_suite_record_golden_flows(self, tmp_path, capsys):
+        rc = main(["suite", "record-golden", "--flows",
+                   "--dir", str(tmp_path), "--kernels", "nw"])
+        assert rc == 0
+        payload = json.loads((tmp_path / "nw.json").read_text())
+        assert payload["schema"] == "repro-flow-report/1"
+
+    def test_record_golden_flag_conflict(self, capsys):
+        rc = main(["suite", "record-golden", "--flows", "--validation"])
+        assert rc == 2
 
 
 class TestCalibrateAndStream:
