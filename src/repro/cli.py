@@ -64,10 +64,14 @@ from pathlib import Path
 from repro.compiler import CompilationOptions, TybecCompiler
 from repro.cost import SustainedBandwidthModel, calibrate_device
 from repro.explore import (
+    DenseBackend,
+    DenseUnsupportedError,
     DesignSpace,
     ExplorationEngine,
     ProcessPoolBackend,
     SerialBackend,
+    SweepResult,
+    clock_range,
     exhaustive_search,
     generate_lane_variants,
 )
@@ -118,6 +122,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="access-pattern axis")
     explore.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
                          help="cost variants on N worker processes")
+    explore.add_argument("--dense", action="store_true",
+                         help="evaluate the whole space as broadcast numpy "
+                              "arrays (single-process; reports materialized "
+                              "only for the points shown)")
+    explore.add_argument("--clock-range", default=None, metavar="LO:HI:N",
+                         help="continuous clock axis: N evenly spaced "
+                              "frequencies between LO and HI MHz "
+                              "(e.g. 150:300:64; implies --dense-friendly "
+                              "multi-axis exploration)")
+    explore.add_argument("--emit-all", action="store_true",
+                         help="materialize and print every costed point "
+                              "(default with --dense: the top --top rows)")
+    explore.add_argument("--top", type=int, default=12, metavar="K",
+                         help="rows to show for dense sweeps (default: 12)")
     explore.add_argument("--pareto", action="store_true",
                          help="report the throughput/utilisation Pareto frontier")
     explore.add_argument("--json", action="store_true")
@@ -215,6 +233,10 @@ def build_parser() -> argparse.ArgumentParser:
                                  "10 iterations) — the golden configuration")
         parser.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
                             help="cost the batch on N worker processes")
+        parser.add_argument("--dense", action="store_true",
+                            help="evaluate each kernel's grid as broadcast "
+                                 "numpy arrays (single-process; reports are "
+                                 "byte-identical to the per-point path)")
         parser.add_argument("-o", "--output", type=Path, default=None,
                             help="write the canonical JSON report to a file")
         parser.add_argument("--json", action="store_true",
@@ -352,20 +374,96 @@ def _cmd_emit(args) -> int:
 
 def _explore_backend(args):
     """The evaluation backend the CLI flags imply (None = caller default)."""
+    if getattr(args, "dense", False):
+        if args.jobs and args.jobs > 1:
+            raise ValueError(
+                "--dense is single-process by design (one broadcast pass, no "
+                "per-point fan-out); it cannot be combined with --jobs"
+            )
+        return DenseBackend()
     if args.jobs and args.jobs > 1:
         return ProcessPoolBackend(max_workers=args.jobs)
     return None
 
 
+def _render_dense_sweep(args, space, sweep) -> int:
+    """Render a dense sweep: top-k rows, best point, optional frontier.
+
+    Only the shown points are materialized into reports — the whole point
+    of the dense path; ``--emit-all`` takes the ordinary full-sweep
+    rendering instead.
+    """
+    best = sweep.best()
+    frontier = sweep.pareto_frontier() if args.pareto else []
+    top = sweep.top(args.top)
+    rows = SweepResult(entries=top).summary_rows()
+
+    if args.json:
+        print(json.dumps({
+            "axes": space.axis_sizes(),
+            "rows": rows,
+            "best": best.point.as_dict() if best else None,
+            "pareto": [entry.point.as_dict() for entry in frontier],
+            "evaluated": sweep.evaluated,
+            "feasible": sweep.feasible_count,
+            "wall_seconds": sweep.wall_seconds,
+            "points_per_second": sweep.points_per_second,
+            "dense": True,
+        }, indent=2))
+        return 0
+
+    axes = ", ".join(f"{n}={s}" for n, s in space.axis_sizes().items() if s > 1) or "lanes=1"
+    print(f"exploring {space.kernel.name} on {args.device}, grid {tuple(space.grid)}, "
+          f"{space.iterations} iterations ({len(space)} points, dense; axes: {axes})")
+    header = (f"{'lanes':>5} {'MHz':>8} {'form':>4} {'pattern':>10} {'EWGT/s':>12} "
+              f"{'ALUT%':>7} {'limiting':>16} {'ok':>3}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['lanes']:>5} {row['clock_mhz']:>8.2f} {row['form']:>4} "
+              f"{row['pattern']:>10} {row['ewgt_per_s']:>12.2f} {row['alut_pct']:>7.2f} "
+              f"{row['limiting_factor']:>16} {'y' if row['feasible'] else 'n':>3}")
+    if sweep.evaluated > len(top):
+        print(f"(showing the top {len(top)} of {sweep.evaluated} points by EKIT; "
+              f"--emit-all materializes every row)")
+    if best is not None:
+        print(f"best feasible point: {best.point.label}")
+    if args.pareto:
+        print("Pareto frontier (EKIT vs limiting-resource utilisation):")
+        for entry in frontier:
+            print(f"  {entry.point.label}: EKIT {entry.report.ekit:.3f}/s, "
+                  f"worst utilisation "
+                  f"{entry.report.feasibility.limiting_resource_utilization*100:.1f}%")
+    print(f"costed {sweep.evaluated} points ({sweep.feasible_count} feasible) "
+          f"in {sweep.wall_seconds:.3f} s ({sweep.points_per_second:,.0f} points/s)")
+    return 0
+
+
 def _cmd_explore_space(args, kernel, grid) -> int:
     """Multi-axis exploration through the engine (clock/form/pattern axes)."""
+    clocks = tuple(args.clocks) if args.clocks else (None,)
+    if args.clock_range:
+        if args.clocks:
+            print("--clock-range cannot be combined with --clocks",
+                  file=sys.stderr)
+            return 2
+        try:
+            clocks = clock_range(args.clock_range)
+        except ValueError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+    try:
+        backend = _explore_backend(args)
+    except ValueError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
     space = DesignSpace(
         kernel=kernel,
         grid=grid,
         iterations=args.iterations,
         lanes=args.lanes,
         max_lanes=args.max_lanes,
-        clocks_mhz=tuple(args.clocks) if args.clocks else (None,),
+        clocks_mhz=clocks,
         forms=tuple(args.forms) if args.forms else ("auto",),
         devices=(get_device(args.device),),
         patterns=tuple(PatternKind(p) for p in args.patterns) if args.patterns else (
@@ -375,7 +473,13 @@ def _cmd_explore_space(args, kernel, grid) -> int:
         print(f"no valid lane counts for grid {grid} "
               f"(lanes must divide the NDRange size)", file=sys.stderr)
         return 2
-    engine = ExplorationEngine(_explore_backend(args))
+    engine = ExplorationEngine(backend)
+    if args.dense and not args.emit_all:
+        try:
+            return _render_dense_sweep(args, space, engine.explore_dense(space))
+        except DenseUnsupportedError as exc:
+            print(f"dense path unavailable ({exc}); using the per-point path",
+                  file=sys.stderr)
     sweep = engine.explore(space)
     frontier = sweep.pareto_frontier() if args.pareto else []
     best = sweep.best()
@@ -419,7 +523,8 @@ def _cmd_explore_space(args, kernel, grid) -> int:
 def _cmd_explore(args) -> int:
     kernel = get_kernel(args.kernel)
     grid = tuple(args.grid) if args.grid else kernel.default_grid
-    multi_axis = any((args.clocks, args.forms, args.patterns)) or args.pareto
+    multi_axis = (any((args.clocks, args.forms, args.patterns, args.clock_range))
+                  or args.pareto or args.dense)
     if multi_axis:
         return _cmd_explore_space(args, kernel, grid)
 

@@ -44,7 +44,7 @@ implements this extraction rule.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from enum import Enum
 
 from repro.models.memory_execution import MemoryExecutionForm
@@ -69,6 +69,16 @@ class LimitingFactor(str, Enum):
     COMPUTE = "compute"
     PIPELINE_FILL = "pipeline-fill"
     OFFSET_FILL = "offset-fill"
+
+
+@dataclass(frozen=True)
+class _DerivedScalars:
+    """Derived quantities of one parameter record, all ``knl``-invariant."""
+
+    fd_hz: float
+    sustained_host_gbps: float
+    sustained_dram_gbps: float
+    total_stream_bytes: float
 
 
 @dataclass(frozen=True)
@@ -146,25 +156,59 @@ class EKITParameters:
 
     # -- derived quantities -------------------------------------------------
     @property
+    def _derived(self) -> "_DerivedScalars":
+        """The lane-invariant derived scalars, computed once per instance.
+
+        Hot sweep loops evaluate the EKIT expressions for thousands of
+        lane counts against one parameter record; the bundle is cached on
+        the instance (and shared by :meth:`with_lanes` copies, since none
+        of its members depend on ``knl``)."""
+        cached = self.__dict__.get("_derived_bundle")
+        if cached is None:
+            cached = _DerivedScalars(
+                fd_hz=self.fd_mhz * 1e6,
+                sustained_host_gbps=self.hpb_gbps * self.rho_h,
+                sustained_dram_gbps=self.gpb_gbps * self.rho_g,
+                total_stream_bytes=float(self.ngs) * self.nwpt * self.word_bytes,
+            )
+            object.__setattr__(self, "_derived_bundle", cached)
+        return cached
+
+    @property
     def fd_hz(self) -> float:
-        return self.fd_mhz * 1e6
+        return self._derived.fd_hz
 
     @property
     def sustained_host_gbps(self) -> float:
-        return self.hpb_gbps * self.rho_h
+        return self._derived.sustained_host_gbps
 
     @property
     def sustained_dram_gbps(self) -> float:
-        return self.gpb_gbps * self.rho_g
+        return self._derived.sustained_dram_gbps
 
     @property
     def total_stream_bytes(self) -> float:
         """Bytes moved per kernel instance (``NGS * NWPT`` words)."""
-        return float(self.ngs) * self.nwpt * self.word_bytes
+        return self._derived.total_stream_bytes
 
     def with_lanes(self, knl: int) -> "EKITParameters":
-        """A copy of the parameters with a different lane count."""
-        return replace(self, knl=knl)
+        """A copy of the parameters with a different lane count.
+
+        ``knl`` is the only field a lane sweep varies, so the copy skips
+        ``__post_init__`` (every other invariant is untouched) and shares
+        the cached derived-scalar bundle — re-validating through
+        ``dataclasses.replace`` per point used to dominate dense
+        differential runs.
+        """
+        if knl == self.knl:
+            return self
+        if knl <= 0:
+            raise ValueError(f"knl must be positive, got {knl}")
+        clone = object.__new__(EKITParameters)
+        state = dict(self.__dict__)
+        state["knl"] = knl
+        object.__setattr__(clone, "__dict__", state)
+        return clone
 
     # -- extraction helpers ---------------------------------------------------
     @classmethod

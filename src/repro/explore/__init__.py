@@ -23,8 +23,17 @@ multi-axis design spaces evaluated in parallel.
     extension of da Silva et al.
 """
 
+from repro.cost.vector import DenseUnsupportedError, pareto_mask
 from repro.explore.variants import VariantRecord, generate_lane_variants, sweep_lane_counts
-from repro.explore.space import CostJob, DesignPoint, DesignSpace, build_jobs
+from repro.explore.space import (
+    CostJob,
+    DenseGrid,
+    DesignPoint,
+    DesignSpace,
+    build_jobs,
+    clock_range,
+    linspace_clocks,
+)
 from repro.explore.engine import (
     ExplorationEngine,
     ProcessPoolBackend,
@@ -35,6 +44,7 @@ from repro.explore.engine import (
     merge_stats,
     pareto_frontier,
 )
+from repro.explore.dense import DenseBackend, DenseSweep
 from repro.explore.search import (
     ExplorationResult,
     exhaustive_search,
@@ -45,6 +55,13 @@ from repro.explore.roofline import RooflinePoint, roofline_analysis
 from repro.explore.case_study import CaseStudyConfig, CaseStudyPoint, run_sor_case_study
 
 __all__ = [
+    "DenseBackend",
+    "DenseGrid",
+    "DenseSweep",
+    "DenseUnsupportedError",
+    "clock_range",
+    "linspace_clocks",
+    "pareto_mask",
     "VariantRecord",
     "generate_lane_variants",
     "sweep_lane_counts",

@@ -29,6 +29,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
 from repro.compiler.lanescale import LaneFamilyHandle
 from repro.compiler.pipeline import CompilationOptions
 from repro.functional.typetrans import valid_lane_counts
@@ -39,7 +41,15 @@ from repro.models.memory_execution import MemoryExecutionForm
 from repro.models.streaming import PatternKind
 from repro.substrate.fpga_device import FPGADevice, MAIA_STRATIX_V_GSD8
 
-__all__ = ["DesignPoint", "DesignSpace", "CostJob", "build_jobs"]
+__all__ = [
+    "DesignPoint",
+    "DesignSpace",
+    "DenseGrid",
+    "CostJob",
+    "build_jobs",
+    "linspace_clocks",
+    "clock_range",
+]
 
 
 def _form_value(form: str | MemoryExecutionForm) -> str:
@@ -196,6 +206,106 @@ class DesignSpace:
                                 )
                             )
         return points
+
+
+def linspace_clocks(lo: float, hi: float, n: int) -> tuple[float, ...]:
+    """A continuous clock axis: ``n`` evenly spaced frequencies in MHz."""
+    if n < 1:
+        raise ValueError(f"clock axis needs at least one point, got {n}")
+    if lo <= 0 or hi <= 0:
+        raise ValueError(f"clock frequencies must be positive, got {lo}:{hi}")
+    if hi < lo:
+        raise ValueError(f"clock range is inverted: {lo} > {hi}")
+    return tuple(float(x) for x in np.linspace(lo, hi, n))
+
+
+def clock_range(spec: str) -> tuple[float, ...]:
+    """Parse a ``LO:HI:N`` clock-range spec into a clock axis (MHz)."""
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise ValueError(
+            f"invalid clock range {spec!r}; expected LO:HI:N (e.g. 150:300:64)"
+        )
+    try:
+        lo, hi, n = float(parts[0]), float(parts[1]), int(parts[2])
+    except ValueError:
+        raise ValueError(
+            f"invalid clock range {spec!r}; expected LO:HI:N (e.g. 150:300:64)"
+        ) from None
+    return linspace_clocks(lo, hi, n)
+
+
+@dataclass(frozen=True)
+class DenseGrid:
+    """A :class:`DesignSpace` lowered to indexable axis tuples.
+
+    The dense evaluation path addresses points by axis coordinates
+    instead of enumerating :class:`DesignPoint` objects; this is the
+    bridge between the two — ``point(...)`` reconstructs exactly the
+    design point :meth:`DesignSpace.points` would have produced at the
+    same sweep position, and ``flat_index``/``coords`` map between the
+    sweep order (lanes, device, clock, form, pattern — slowest to
+    fastest) and array coordinates.
+    """
+
+    kernel: str
+    grid: tuple[int, ...]
+    iterations: int
+    lanes: tuple[int, ...]
+    devices: tuple[FPGADevice, ...]
+    clocks: tuple[float | None, ...]
+    forms: tuple[str | MemoryExecutionForm, ...]
+    patterns: tuple[PatternKind, ...]
+
+    @classmethod
+    def from_space(cls, space: "DesignSpace") -> "DenseGrid":
+        return cls(
+            kernel=space.kernel.name,
+            grid=tuple(space.grid),
+            iterations=space.iterations,
+            lanes=tuple(space.lane_counts()),
+            devices=tuple(space.devices),
+            clocks=tuple(space.clocks_mhz),
+            forms=tuple(space.forms),
+            patterns=tuple(PatternKind(p) for p in space.patterns),
+        )
+
+    @property
+    def shape(self) -> tuple[int, int, int, int, int]:
+        return (len(self.lanes), len(self.devices), len(self.clocks),
+                len(self.forms), len(self.patterns))
+
+    def __len__(self) -> int:
+        return math.prod(self.shape)
+
+    def flat_index(self, li: int, di: int, ci: int, fi: int, pi: int) -> int:
+        _, d, c, f, p = self.shape
+        return ((((li * d + di) * c + ci) * f + fi) * p + pi)
+
+    def coords(self, flat: int) -> tuple[int, int, int, int, int]:
+        _, d, c, f, p = self.shape
+        flat, pi = divmod(flat, p)
+        flat, fi = divmod(flat, f)
+        flat, ci = divmod(flat, c)
+        li, di = divmod(flat, d)
+        return li, di, ci, fi, pi
+
+    def point(self, li: int, di: int, ci: int, fi: int, pi: int) -> DesignPoint:
+        return DesignPoint(
+            kernel=self.kernel,
+            lanes=self.lanes[li],
+            grid=self.grid,
+            iterations=self.iterations,
+            clock_mhz=self.clocks[ci],
+            form=self.forms[fi],
+            device=self.devices[di],
+            pattern=self.patterns[pi],
+        )
+
+    def resolved_clocks(self, device: FPGADevice) -> list[float]:
+        """The clock axis in MHz with ``None`` resolved to device fmax."""
+        return [float(c) if c is not None else float(device.fmax_mhz)
+                for c in self.clocks]
 
 
 @dataclass(frozen=True)

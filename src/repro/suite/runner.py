@@ -192,15 +192,47 @@ class WorkloadSuite:
 
     # ------------------------------------------------------------------
     def sweep(self) -> tuple[dict[str, DesignSpace], SweepResult]:
-        """Cost every point of every kernel in one engine batch."""
+        """Cost every point of every kernel in one engine batch.
+
+        A backend with a dense lowering evaluates each kernel's space as
+        one broadcast pass (kernels that are not lane-separable fall back
+        to the per-point oracle, per space); entry order and report bytes
+        are identical either way.
+        """
         spaces = self.spaces()
-        jobs = self.jobs(spaces)
-        if not jobs:
+        dense = getattr(self.engine.backend, "explore_space", None)
+        if dense is None:
+            jobs = self.jobs(spaces)
+            if not jobs:
+                raise ValueError(
+                    "suite has no design points (no valid lane counts for the "
+                    "configured grids?)"
+                )
+            return spaces, self.engine.cost_many(jobs)
+
+        from repro.cost.vector import DenseUnsupportedError
+
+        entries: list = []
+        wall = 0.0
+        total = 0
+        for space in spaces.values():
+            if len(space) == 0:
+                continue
+            total += len(space)
+            try:
+                result = dense(space).materialize_all()
+            except DenseUnsupportedError:
+                result = self.engine.cost_many(build_jobs(space))
+            entries.extend(result.entries)
+            wall += result.wall_seconds
+        if total == 0:
             raise ValueError(
                 "suite has no design points (no valid lane counts for the "
                 "configured grids?)"
             )
-        return spaces, self.engine.cost_many(jobs)
+        collect = getattr(self.engine.backend, "collect_stats", None)
+        stats = collect() if collect is not None else {}
+        return spaces, SweepResult(entries=entries, wall_seconds=wall, stats=stats)
 
     def run(self) -> SuiteRun:
         """Cost the whole suite and fold it into the canonical report."""

@@ -1,0 +1,212 @@
+"""Unit tests of the vectorized cost core (:mod:`repro.cost.vector`).
+
+The differential contract with the scalar oracle is pinned end-to-end in
+``tests/explore/test_dense.py``; here the individual array primitives and
+the parameter fast-paths are exercised in isolation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.throughput import EKITParameters, estimate_throughput
+from repro.cost.vector import (
+    LIMITING_ORDER,
+    RESOURCE_ORDER,
+    FamilyVector,
+    evaluate_group,
+    lane_axis,
+    pareto_mask,
+)
+from repro.models.memory_execution import MemoryExecutionForm
+
+
+def _params(**overrides) -> EKITParameters:
+    base = dict(
+        hpb_gbps=8.0, rho_h=0.7, gpb_gbps=25.0, rho_g=0.8,
+        ngs=512, nwpt=4, nki=10, noff=17, kpd=120, fd_mhz=200.0,
+        ni=12, knl=1, dv=1, word_bytes=4,
+    )
+    base.update(overrides)
+    return EKITParameters.for_pipelined_design(**base)
+
+
+class TestWithLanesFastCopy:
+    def test_matches_dataclasses_replace(self):
+        p = _params()
+        fast = p.with_lanes(8)
+        slow = dataclasses.replace(p, knl=8)
+        assert fast == slow
+        assert fast.knl == 8
+        # nothing else drifted
+        for field in dataclasses.fields(EKITParameters):
+            if field.name != "knl":
+                assert getattr(fast, field.name) == getattr(p, field.name)
+
+    def test_same_lane_count_returns_self(self):
+        p = _params()
+        assert p.with_lanes(p.knl) is p
+
+    def test_rejects_non_positive_lanes(self):
+        p = _params()
+        with pytest.raises(ValueError, match="knl must be positive"):
+            p.with_lanes(0)
+        with pytest.raises(ValueError, match="knl must be positive"):
+            p.with_lanes(-4)
+
+    def test_derived_bundle_is_shared_and_correct(self):
+        p = _params()
+        assert p.fd_hz == p.fd_mhz * 1e6  # computes (and caches) the bundle
+        q = p.with_lanes(16)
+        assert q._derived is p._derived  # knl-invariant, so shared
+        assert q.sustained_host_gbps == p.hpb_gbps * p.rho_h
+        assert q.sustained_dram_gbps == p.gpb_gbps * p.rho_g
+        assert q.total_stream_bytes == float(p.ngs) * p.nwpt * p.word_bytes
+
+    def test_throughput_identical_through_fast_copy(self):
+        p = _params(knl=1)
+        fast = p.with_lanes(4)
+        slow = dataclasses.replace(p, knl=4)
+        for form in MemoryExecutionForm:
+            a = estimate_throughput(fast, form).as_dict()
+            b = estimate_throughput(slow, form).as_dict()
+            assert a == b
+
+
+@pytest.fixture
+def fv() -> FamilyVector:
+    return FamilyVector(
+        kernel="toy", device="toy-device", pe_name="toy_pe",
+        pe_usage=(310.4, 451.9, 0.0, 3.0),
+        buffer_usage=(64.2, 642.0, 1200.0, 0.0),
+        balancing_bits=96,
+        in_streams_per_lane=3, out_streams_per_lane=1,
+        element_width=18, word_bytes=3,
+        nwpt=4, noff=17, kpd=120, ni=12, dv=1,
+    )
+
+
+CAPS = {"alut": 200_000, "reg": 400_000, "bram_bits": 4_000_000, "dsp": 256}
+
+
+class TestLaneAxis:
+    def test_mirrors_scalar_accumulation(self, fv):
+        lanes = (1, 2, 8)
+        axis = lane_axis(fv, lanes, CAPS)
+        for i, k in enumerate(lanes):
+            streams = (fv.in_streams_per_lane + fv.out_streams_per_lane) * k
+            expect = {}
+            for j, name in enumerate(RESOURCE_ORDER):
+                total = round(fv.pe_usage[j] * k + fv.buffer_usage[j] * k
+                              + fv.stream_usage[j] * streams)
+                if name == "reg":
+                    total += fv.balancing_bits * k
+                expect[name] = total / CAPS[name]
+            assert axis.util_max[i] == max(expect.values())
+            worst = max(expect, key=expect.get)  # first max, dict order
+            assert RESOURCE_ORDER[axis.limiting_resource[i]] == worst
+            assert bool(axis.fits_resources[i]) == all(u <= 1.0 for u in expect.values())
+
+    def test_large_lane_counts_do_not_fit(self, fv):
+        axis = lane_axis(fv, (1, 100_000), CAPS)
+        assert bool(axis.fits_resources[0])
+        assert not bool(axis.fits_resources[1])
+
+
+class TestEvaluateGroup:
+    @pytest.mark.parametrize("form", list(MemoryExecutionForm))
+    def test_mirrors_scalar_breakdown(self, fv, form):
+        lanes = np.array([1, 2, 8], dtype=np.int64)
+        clocks = np.array([150.0, 250.0])
+        fits = np.array([True, True, False])
+        group = evaluate_group(
+            fv, lanes, clocks, form=form, ngs=512, nki=10,
+            hpb_gbps=8.0, rho_h=0.7, gpb_gbps=25.0, rho_g=0.8,
+            fits_resources=fits,
+        )
+        assert group.ekit.shape == (3, 2)
+        for li, k in enumerate(lanes):
+            for ci, mhz in enumerate(clocks):
+                params = EKITParameters.for_pipelined_design(
+                    hpb_gbps=8.0, rho_h=0.7, gpb_gbps=25.0, rho_g=0.8,
+                    ngs=512, nwpt=fv.nwpt, nki=10, noff=fv.noff, kpd=fv.kpd,
+                    fd_mhz=float(mhz), ni=fv.ni, knl=int(k), dv=fv.dv,
+                    word_bytes=fv.word_bytes,
+                )
+                est = estimate_throughput(params, form)
+                assert group.ekit[li, ci] == est.ekit
+                assert group.total_s[li, ci] == est.breakdown.total
+                assert LIMITING_ORDER[group.limiting[li, ci]] is est.limiting_factor
+
+    def test_feasibility_combines_resources_and_bandwidth(self, fv):
+        lanes = np.array([1, 64], dtype=np.int64)
+        clocks = np.array([250.0])
+        group = evaluate_group(
+            fv, lanes, clocks, form=MemoryExecutionForm.A, ngs=512, nki=10,
+            hpb_gbps=8.0, rho_h=0.7, gpb_gbps=25.0, rho_g=0.8,
+            fits_resources=np.array([True, True]),
+        )
+        # 64 lanes at 250 MHz demand more than the sustained host link
+        assert bool(group.fits_bandwidth[0, 0])
+        assert not bool(group.fits_bandwidth[1, 0])
+        assert not bool(group.feasible[1, 0])
+        # form C never constrains the sustained links
+        group_c = evaluate_group(
+            fv, lanes, clocks, form=MemoryExecutionForm.C, ngs=512, nki=10,
+            hpb_gbps=8.0, rho_h=0.7, gpb_gbps=25.0, rho_g=0.8,
+            fits_resources=np.array([True, False]),
+        )
+        assert group_c.fits_bandwidth.all()
+        assert not bool(group_c.feasible[1, 0])
+
+
+class TestParetoMask:
+    def test_empty(self):
+        assert pareto_mask(np.empty((0, 2))).shape == (0,)
+
+    def test_single_point_survives(self):
+        assert pareto_mask(np.array([[1.0, 2.0]])).tolist() == [True]
+
+    def test_identical_scores_all_survive(self):
+        scores = np.array([[1.0, 2.0]] * 5)
+        assert pareto_mask(scores).all()
+
+    def test_simple_dominance(self):
+        scores = np.array([[1.0, 1.0], [2.0, 2.0], [0.5, 3.0]])
+        assert pareto_mask(scores).tolist() == [False, True, True]
+
+    def test_duplicates_of_dominated_point_all_die(self):
+        scores = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        assert pareto_mask(scores).tolist() == [False, False, True]
+
+    def test_three_objectives_fallback(self):
+        scores = np.array([
+            [1.0, 1.0, 1.0],
+            [2.0, 0.5, 1.0],
+            [2.0, 1.0, 1.0],
+            [2.0, 1.0, 1.0],
+        ])
+        assert pareto_mask(scores).tolist() == [False, False, True, True]
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            pareto_mask(np.zeros(4))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(-4, 4), st.integers(-4, 4)),
+                    min_size=1, max_size=40))
+    def test_matches_pairwise_definition(self, points):
+        scores = np.array(points, dtype=np.float64)
+        mask = pareto_mask(scores)
+        rows = [tuple(r) for r in points]
+        for i, row in enumerate(rows):
+            dominated = any(
+                other != row and all(o >= s for o, s in zip(other, row))
+                for other in rows
+            )
+            assert mask[i] == (not dominated)

@@ -1,0 +1,99 @@
+"""Property tests: the vectorized Pareto frontier is a drop-in replacement.
+
+``repro.explore.engine.pareto_frontier`` used to be an O(n²) pairwise
+scan; it now routes through :func:`repro.cost.vector.pareto_mask`.  These
+tests pin the replacement against a verbatim copy of the old scan —
+identical surviving entries, in identical (input) order, duplicates and
+all — over hypothesis-generated score sets.  The frontier is run on
+lightweight score-carrying stand-ins, not real cost reports: dominance
+only ever sees the objective values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore.engine import pareto_frontier
+
+
+@dataclass(frozen=True)
+class FakeEntry:
+    """Stands in for a SweepEntry; carries only the objective values."""
+
+    ident: int
+    scores: tuple[float, ...]
+
+
+def _objectives(dims: int):
+    return tuple((lambda e, _i=i: e.scores[_i]) for i in range(dims))
+
+
+def _reference_frontier(entries, objectives):
+    """Verbatim copy of the old O(n²) pairwise ``pareto_frontier`` scan."""
+    scored = [(tuple(obj(e) for obj in objectives), e) for e in entries]
+    frontier = []
+    for score, entry in scored:
+        dominated = False
+        for other, _ in scored:
+            if other != score and all(o >= s for o, s in zip(other, score)):
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(entry)
+    return frontier
+
+
+# small integer coordinates force heavy collisions: duplicated score
+# vectors, shared first objectives, total ties — the cases where a
+# sort-based rewrite is most likely to diverge from the pairwise scan
+coords = st.integers(min_value=-5, max_value=5)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.tuples(coords, coords), max_size=60))
+def test_two_objective_frontier_matches_pairwise_scan(points):
+    entries = [FakeEntry(i, tuple(map(float, p))) for i, p in enumerate(points)]
+    objectives = _objectives(2)
+    new = pareto_frontier(entries, objectives)
+    old = _reference_frontier(entries, objectives)
+    assert [e.ident for e in new] == [e.ident for e in old]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(coords, coords, coords), max_size=40))
+def test_three_objective_frontier_matches_pairwise_scan(points):
+    entries = [FakeEntry(i, tuple(map(float, p))) for i, p in enumerate(points)]
+    objectives = _objectives(3)
+    new = pareto_frontier(entries, objectives)
+    old = _reference_frontier(entries, objectives)
+    assert [e.ident for e in new] == [e.ident for e in old]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.floats(-10, 10, allow_nan=False),
+                          st.floats(-10, 10, allow_nan=False)), max_size=40))
+def test_float_scores_match_pairwise_scan(points):
+    entries = [FakeEntry(i, p) for i, p in enumerate(points)]
+    objectives = _objectives(2)
+    new = pareto_frontier(entries, objectives)
+    old = _reference_frontier(entries, objectives)
+    assert [e.ident for e in new] == [e.ident for e in old]
+
+
+def test_empty_input():
+    assert pareto_frontier([], _objectives(2)) == []
+
+
+def test_equal_score_duplicates_all_survive():
+    entries = [FakeEntry(i, (1.0, 1.0)) for i in range(4)]
+    kept = pareto_frontier(entries, _objectives(2))
+    assert [e.ident for e in kept] == [0, 1, 2, 3]
+
+
+def test_single_objective():
+    entries = [FakeEntry(0, (1.0,)), FakeEntry(1, (3.0,)), FakeEntry(2, (3.0,))]
+    kept = pareto_frontier(entries, _objectives(1))
+    assert [e.ident for e in kept] == [1, 2]
