@@ -52,6 +52,15 @@ Sub-commands mirror the flows of the paper:
     ``~/.cache/tybec``): report its contents, clear it, or pre-populate
     device calibrations and kernel design-family analyses so the next
     ``cost``/``explore``/``suite run`` starts warm.
+
+``tybec serve``
+    Run the persistent exploration service: one warm set of caches
+    shared by every client, identical in-flight requests coalesced onto
+    one underlying sweep, results streamed back as canonical NDJSON.
+
+``tybec client cost|suite|metrics|health``
+    Talk to a running service: cost one ``.tirl`` design, run (or join)
+    a suite sweep, or inspect the daemon's cache/queue metrics.
 """
 
 from __future__ import annotations
@@ -337,6 +346,48 @@ def build_parser() -> argparse.ArgumentParser:
     cache_warm.add_argument("--kernels", nargs="+", default=None, metavar="KERNEL",
                             help="kernels whose design families to analyse "
                                  "(default: every registered kernel)")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the persistent exploration service",
+        description="One long-lived process owns one warm set of "
+                    "estimation caches; clients POST .tirl designs or "
+                    "suite grid specs, identical in-flight requests "
+                    "coalesce onto one underlying sweep, and results "
+                    "stream back as canonical NDJSON.",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8731,
+                         help="listen port (0 for an ephemeral port)")
+    serve_p.add_argument("--max-concurrency", type=int, default=4, metavar="N",
+                         help="concurrent sweeps before requests queue "
+                              "(default: 4)")
+    serve_p.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request")
+
+    client_p = sub.add_parser(
+        "client", help="talk to a running exploration service")
+    client_p.add_argument("--host", default="127.0.0.1")
+    client_p.add_argument("--port", type=int, default=8731)
+    client_sub = client_p.add_subparsers(dest="client_command", required=True)
+
+    client_cost = client_sub.add_parser(
+        "cost", help="cost a .tirl design through the service")
+    client_cost.add_argument("design", type=Path, help="path to the .tirl file")
+    client_cost.add_argument("--device", default="stratix-v")
+    client_cost.add_argument("--grid", type=int, nargs="+", default=[24, 24, 24])
+    client_cost.add_argument("--iterations", type=int, default=1000)
+    client_cost.add_argument("--pattern", default="contiguous",
+                             choices=[p.value for p in PatternKind])
+    client_cost.add_argument("--json", action="store_true",
+                             help="print the full canonical report")
+
+    client_suite = client_sub.add_parser(
+        "suite", help="run (or join) a suite sweep through the service")
+    _add_suite_sweep_args(client_suite)
+
+    client_sub.add_parser("metrics", help="print the daemon's /metrics payload")
+    client_sub.add_parser("health", help="probe the daemon's /healthz endpoint")
 
     return parser
 
@@ -1033,6 +1084,121 @@ def _cmd_cache(args) -> int:
     return _CACHE_COMMANDS[args.cache_command](args)
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import serve
+
+    try:
+        server = serve(host=args.host, port=args.port,
+                       max_concurrency=args.max_concurrency,
+                       verbose=args.verbose)
+    except OSError as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    print(f"tybec exploration service listening on "
+          f"http://{args.host}:{server.port} "
+          f"({args.max_concurrency} concurrent sweep(s); Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
+def _service_client(args):
+    from repro.service import ServiceClient
+
+    return ServiceClient(host=args.host, port=args.port)
+
+
+def _cmd_client_cost(args) -> int:
+    client = _service_client(args)
+    response = client.cost(args.design.read_text(), device=args.device,
+                           grid=tuple(args.grid), iterations=args.iterations,
+                           pattern=args.pattern, name=args.design.stem)
+    payload = response.payload
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    throughput = payload.get("throughput", {})
+    feasibility = payload.get("feasibility", {})
+    print(f"costed {args.design.name} on {args.device} "
+          f"({response.role}, fingerprint {response.fingerprint[:12]}):")
+    print(f"  EKIT {throughput.get('ekit_per_s', 0.0):.4f}/s, "
+          f"form {throughput.get('form')}, "
+          f"feasible {'y' if feasibility.get('feasible') else 'n'} "
+          f"(limiting: {feasibility.get('limiting_factor')})")
+    return 0
+
+
+def _cmd_client_suite(args) -> int:
+    from repro.suite.report import canonical_json
+
+    if args.jobs:
+        print("--jobs is a batch-mode flag; the service owns its own "
+              "concurrency (see tybec serve --max-concurrency)", file=sys.stderr)
+        return 2
+    config = _suite_config_from_args(args)
+    spec = config.as_dict()
+    spec["dense"] = bool(args.dense)
+    client = _service_client(args)
+    progress = None
+    if not args.json:
+        progress = lambda event: print(  # noqa: E731 - tiny stream hook
+            f"  point {event['index']}: {event['point']['kernel']} "
+            f"l{event['point']['lanes']} on {event['point']['device']}",
+            file=sys.stderr)
+    response = client.suite(spec, on_entry=progress)
+    text = canonical_json(response.payload)
+    if args.output:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(text)
+        print(f"wrote suite report to {args.output}", file=sys.stderr)
+    if args.json:
+        print(text, end="")
+    else:
+        totals = response.payload["totals"]
+        print(f"costed {totals['points']} design points across "
+              f"{totals['kernels']} kernels ({totals['feasible']} feasible) "
+              f"via the service ({response.role}"
+              f"{', coalesced' if response.coalesced else ''})")
+    return 0
+
+
+def _cmd_client_metrics(args) -> int:
+    print(json.dumps(_service_client(args).metrics(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_client_health(args) -> int:
+    payload = _service_client(args).health()
+    print(json.dumps(payload, sort_keys=True))
+    return 0 if payload.get("ok") else 1
+
+
+_CLIENT_COMMANDS = {
+    "cost": _cmd_client_cost,
+    "suite": _cmd_client_suite,
+    "metrics": _cmd_client_metrics,
+    "health": _cmd_client_health,
+}
+
+
+def _cmd_client(args) -> int:
+    from repro.service import ServiceError
+
+    try:
+        return _CLIENT_COMMANDS[args.client_command](args)
+    except ConnectionError as exc:
+        print(f"cannot reach the service at {args.host}:{args.port}: {exc} "
+              f"(is `tybec serve` running?)", file=sys.stderr)
+        return 2
+    except (OSError, ServiceError, KeyError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+
+
 def _cmd_stream_bench(args) -> int:
     device = get_device(args.device)
     sim = MemorySystemSimulator(device)
@@ -1056,6 +1222,8 @@ _COMMANDS = {
     "flow": _cmd_flow,
     "suite": _cmd_suite,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
+    "client": _cmd_client,
 }
 
 

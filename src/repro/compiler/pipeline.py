@@ -239,6 +239,12 @@ class PipelineCacheStats:
     derived analytically, ``misses`` = canonical members fully analysed,
     ``fallbacks`` = designs that were not lane-separable); ``disk_*``
     counts warm-start loads from the persistent store.
+
+    A pipeline shared by concurrent request threads (the exploration
+    service) bumps these counters from many threads at once; ``bump`` and
+    ``add_time`` serialise the read-modify-write under a lock so no
+    increment is ever lost, and ``as_dict`` snapshots all counters under
+    the same lock so a metrics scrape is internally consistent.
     """
 
     parse_hits: int = 0
@@ -255,6 +261,18 @@ class PipelineCacheStats:
     disk_hits: int = 0
     disk_misses: int = 0
     stage_seconds: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     @property
     def hits(self) -> int:
@@ -267,20 +285,27 @@ class PipelineCacheStats:
             + self.calibration_misses
         )
 
+    def bump(self, counter: str, n: int = 1) -> None:
+        """Atomically increment one of the hit/miss counters by ``n``."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + n)
+
     def add_time(self, stage: str, seconds: float) -> None:
-        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+        with self._lock:
+            self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
 
     def as_dict(self) -> dict:
-        return {
-            "parse": [self.parse_hits, self.parse_misses],
-            "variant": [self.variant_hits, self.variant_misses],
-            "resource": [self.resource_hits, self.resource_misses],
-            "calibration": [self.calibration_hits, self.calibration_misses],
-            "family": [self.family_hits, self.family_misses],
-            "family_fallbacks": self.family_fallbacks,
-            "disk": [self.disk_hits, self.disk_misses],
-            "stage_seconds": dict(self.stage_seconds),
-        }
+        with self._lock:
+            return {
+                "parse": [self.parse_hits, self.parse_misses],
+                "variant": [self.variant_hits, self.variant_misses],
+                "resource": [self.resource_hits, self.resource_misses],
+                "calibration": [self.calibration_hits, self.calibration_misses],
+                "family": [self.family_hits, self.family_misses],
+                "family_fallbacks": self.family_fallbacks,
+                "disk": [self.disk_hits, self.disk_misses],
+                "stage_seconds": dict(self.stage_seconds),
+            }
 
 
 # ----------------------------------------------------------------------
@@ -389,12 +414,12 @@ class CalibrationStage:
         if disk is not None:
             value = disk.get("calibration", disk_token)
             if value is not None:
-                stats.disk_hits += 1
+                stats.bump("disk_hits")
                 with _CALIBRATION_LOCK:
                     memory_cache.setdefault(memory_key, value)
                     value = memory_cache[memory_key]
                 return value, False
-            stats.disk_misses += 1
+            stats.bump("disk_misses")
         value = compute()
         with _CALIBRATION_LOCK:
             memory_cache.setdefault(memory_key, value)
@@ -444,9 +469,9 @@ class CalibrationStage:
             missed |= computed
 
         if missed:
-            stats.calibration_misses += 1
+            stats.bump("calibration_misses")
         else:
-            stats.calibration_hits += 1
+            stats.bump("calibration_hits")
         with _CALIBRATION_LOCK:
             shared = options.cost_db is _COSTDB_CACHE.get((device, options.synthesis_noise))
         stats.add_time("calibrate", time.perf_counter() - started)
@@ -474,9 +499,9 @@ class ParseStage:
         key = (hashlib.sha256(text.encode()).hexdigest(), name)
         module = self._cache.get(key)
         if module is not None:
-            stats.parse_hits += 1
+            stats.bump("parse_hits")
             return module
-        stats.parse_misses += 1
+        stats.bump("parse_misses")
         started = time.perf_counter()
         module = parse_module(text, name=name)
         validate_module(module)
@@ -533,9 +558,9 @@ class AnalysisStage:
         key = (content, options.resolved_clock_mhz(), lat_key)
         variant = self._cache.get(key)
         if variant is not None:
-            stats.variant_hits += 1
+            stats.bump("variant_hits")
             return variant
-        stats.variant_misses += 1
+        stats.bump("variant_misses")
         started = time.perf_counter()
 
         bundle = _STRUCTURAL_CACHE.get((content, lat_key))
@@ -579,7 +604,7 @@ class AnalysisStage:
             family = lookup_family(fingerprint, lat_key)
             if family is not None:
                 # the lane-scaling law: derive this member from the family
-                stats.family_hits += 1
+                stats.bump("family_hits")
                 return self._derived_bundle(family, sep.lanes, module.name, module)
 
         # the full path: validate, analyse, schedule — once per family
@@ -588,9 +613,9 @@ class AnalysisStage:
         if disk is not None:
             loaded = disk.get("analysis", (content, lat_key))
             if loaded is not None:
-                stats.disk_hits += 1
+                stats.bump("disk_hits")
                 return loaded
-            stats.disk_misses += 1
+            stats.bump("disk_misses")
 
         validate_module(module)
         structure = ModuleStructure.from_module(module)
@@ -603,12 +628,12 @@ class AnalysisStage:
             family = build_family(module, sep, fingerprint, lat_key,
                                   structure, schedules, classification)
             if family is not None:
-                stats.family_misses += 1
+                stats.bump("family_misses")
                 register_family(family)
             else:
-                stats.family_fallbacks += 1
+                stats.bump("family_fallbacks")
         elif options.lane_scaling:
-            stats.family_fallbacks += 1
+            stats.bump("family_fallbacks")
 
         bundle = (structure, tree, classification, schedules, family)
         if disk is not None:
@@ -643,14 +668,14 @@ class AnalysisStage:
         key = ("recipe", handle.point_token(), clock, lat_key)
         variant = self._cache.get(key)
         if variant is not None:
-            stats.variant_hits += 1
+            stats.bump("variant_hits")
             return variant
 
         if options.lane_scaling and handle._module is None:
             family = lookup_family_for_recipe(handle.family_token(), lat_key)
             if family is not None:
-                stats.variant_misses += 1
-                stats.family_hits += 1
+                stats.bump("variant_misses")
+                stats.bump("family_hits")
                 started = time.perf_counter()
                 bundle_key = (family.fingerprint, family.latency, handle.lanes,
                               handle.design_name)
@@ -776,7 +801,7 @@ class ResourceStage:
         key = (content, _latency_key(options))
         estimate = self._cache.get(key)
         if estimate is not None:
-            stats.resource_hits += 1
+            stats.bump("resource_hits")
             return self._fresh_view(estimate)
 
         shared_key = None
@@ -784,11 +809,11 @@ class ResourceStage:
             shared_key = key + (options.device, options.synthesis_noise)
             estimate = _RESOURCE_CACHE.get(shared_key)
             if estimate is not None:
-                stats.resource_hits += 1
+                stats.bump("resource_hits")
                 self._cache.put(key, estimate)
                 return self._fresh_view(estimate)
 
-        stats.resource_misses += 1
+        stats.bump("resource_misses")
         started = time.perf_counter()
         estimator = ResourceEstimator(calibration.cost_db)
         estimate = self._compute(variant, estimator, options, calibration)

@@ -35,6 +35,7 @@ import os
 import pickle
 import tempfile
 import threading
+import warnings
 from collections import OrderedDict
 from contextlib import contextmanager
 from pathlib import Path
@@ -44,6 +45,7 @@ __all__ = [
     "DiskCache",
     "default_disk_cache",
     "env_int",
+    "env_capacity",
     "redirected_cache_dir",
 ]
 
@@ -58,6 +60,27 @@ def env_int(name: str, default: int) -> int:
         return int(os.environ.get(name, default))
     except (TypeError, ValueError):
         return default
+
+
+def env_capacity(name: str, default: int) -> int:
+    """A cache capacity read from the environment.
+
+    Capacities must be strictly positive: an eviction scan deletes
+    ``occupancy - capacity`` entries, so a zero or negative capacity would
+    evict *every* entry — including the one the scan was triggered for.
+    Such values fall back to the default with a warning instead of
+    silently turning the cache into a shredder.
+    """
+    value = env_int(name, default)
+    if value <= 0:
+        warnings.warn(
+            f"{name}={value} would evict every cache entry as soon as it is "
+            f"written; falling back to the default capacity {default}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    return value
 
 
 class BoundedCache:
@@ -90,22 +113,28 @@ class BoundedCache:
                 self.evictions += 1
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
 
     def info(self) -> dict:
-        """Counters and occupancy, for cache-health reporting."""
-        return {
-            "name": self.name,
-            "size": len(self._data),
-            "capacity": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        """Counters and occupancy, for cache-health reporting.
+
+        Read under the lock so a concurrent ``put`` can never produce a
+        snapshot whose counters and occupancy disagree with each other.
+        """
+        with self._lock:
+            return {
+                "name": self.name,
+                "size": len(self._data),
+                "capacity": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 class DiskCache:
@@ -115,11 +144,23 @@ class DiskCache:
     #: entry, so it is amortized rather than paid on each write)
     EVICTION_STRIDE = 8
 
+    #: default per-namespace capacity (also the fallback for bad overrides)
+    DEFAULT_CAPACITY = 256
+
     def __init__(self, root: Path | str, capacity: int | None = None):
         self.root = Path(root)
-        self.capacity = capacity if capacity is not None else env_int(
-            "TYBEC_DISK_CACHE_CAPACITY", 256
-        )
+        if capacity is None:
+            capacity = env_capacity("TYBEC_DISK_CACHE_CAPACITY", self.DEFAULT_CAPACITY)
+        elif capacity <= 0:
+            warnings.warn(
+                f"DiskCache capacity {capacity} would evict every entry as "
+                f"soon as it is written; falling back to "
+                f"{self.DEFAULT_CAPACITY}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            capacity = self.DEFAULT_CAPACITY
+        self.capacity = capacity
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -186,21 +227,38 @@ class DiskCache:
                     except OSError:
                         pass
             # amortize the directory scan: occupancy may overshoot the
-            # capacity by at most one stride between scans
+            # capacity by at most one stride between scans.  The *first*
+            # put of a namespace always scans — the stride counter is
+            # per-process, so a fleet of short-lived workers (each writing
+            # fewer than EVICTION_STRIDE entries) would otherwise grow the
+            # namespace without bound, each process convinced its handful
+            # of writes cannot have crossed the threshold
             with self._lock:
                 count = self._put_counts.get(namespace, 0) + 1
                 self._put_counts[namespace] = count
-            if count % self.EVICTION_STRIDE == 0:
+            if count == 1 or count % self.EVICTION_STRIDE == 0:
                 self._evict(path.parent)
         except OSError:
             # a read-only or full cache directory must never break costing
             pass
 
+    @staticmethod
+    def _mtime_or_zero(path: Path) -> float:
+        """An entry's mtime, or 0.0 when a concurrent eviction removed it.
+
+        Vanished entries sort oldest, so the unlink below is a no-op for
+        them instead of an unhandled ``FileNotFoundError`` mid-scan.
+        """
+        try:
+            return path.stat().st_mtime
+        except OSError:
+            return 0.0
+
     def _evict(self, namespace_dir: Path) -> None:
         try:
             entries = sorted(
                 (p for p in namespace_dir.iterdir() if p.suffix == ".pkl"),
-                key=lambda p: p.stat().st_mtime,
+                key=self._mtime_or_zero,
             )
         except OSError:
             return
@@ -233,26 +291,50 @@ class DiskCache:
                     pass
         return removed
 
+    @staticmethod
+    def _size_or_zero(path: Path) -> int:
+        """An entry's size, or 0 when a concurrent eviction removed it.
+
+        The occupancy scan walks a live directory: any entry listed by
+        ``iterdir`` may be unlinked (eviction, ``clear``, another process)
+        before ``stat`` reaches it.  A vanished file contributes no bytes;
+        it must never turn a read-only stats call into a crash.
+        """
+        try:
+            return path.stat().st_size
+        except OSError:
+            return 0
+
     def stats(self) -> dict:
         """On-disk occupancy per namespace plus this process's counters."""
         namespaces: dict[str, dict] = {}
         if self.version_dir.exists():
-            for ns_dir in sorted(self.version_dir.iterdir()):
+            try:
+                ns_dirs = sorted(self.version_dir.iterdir())
+            except OSError:
+                ns_dirs = []
+            for ns_dir in ns_dirs:
                 if not ns_dir.is_dir():
                     continue
-                files = [p for p in ns_dir.iterdir() if p.suffix == ".pkl"]
+                try:
+                    files = [p for p in ns_dir.iterdir() if p.suffix == ".pkl"]
+                except OSError:
+                    # the whole namespace vanished mid-scan (clear())
+                    continue
                 namespaces[ns_dir.name] = {
                     "entries": len(files),
-                    "bytes": sum(p.stat().st_size for p in files),
+                    "bytes": sum(self._size_or_zero(p) for p in files),
                 }
+        with self._lock:
+            hits, misses, evictions = self.hits, self.misses, self.evictions
         return {
             "root": str(self.root),
             "schema_version": SCHEMA_VERSION,
             "capacity_per_namespace": self.capacity,
             "namespaces": namespaces,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
         }
 
 

@@ -32,6 +32,7 @@ per-point path.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -133,7 +134,12 @@ def extract_family_vector(
 
 @dataclass
 class _DeviceContext:
-    """Per-device state of one dense sweep (family + lane-axis products)."""
+    """Per-device state of one dense sweep (family + lane-axis products).
+
+    Contexts live inside cached :class:`DenseSweep` objects, which a
+    coalescing consumer may materialize from several threads at once —
+    the per-lane estimate memo is filled under its own lock.
+    """
 
     device: FPGADevice
     pipeline: EstimationPipeline
@@ -145,22 +151,25 @@ class _DeviceContext:
     resolved_clocks: list[float]
     _estimator: ResourceEstimator = None  # type: ignore[assignment]
     _estimates: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
+                                  compare=False)
 
     def resource_estimate(self, lanes: int):
         """The scalar ``ModuleResourceEstimate`` of one lane count (cached)."""
-        cached = self._estimates.get(lanes)
-        if cached is None:
-            if self._estimator is None:
-                self._estimator = ResourceEstimator(self.pipeline.cost_db)
-            structure = derive_structure(self.family, lanes)
-            estimate = self._estimator.estimate_from_structure(
-                structure,
-                {self.fv.pe_name: self.pe_usage},
-                design=f"{self.fv.kernel}_l{lanes}",
-            )
-            estimate.total += ResourceUsage(reg=self.fv.balancing_bits * lanes)
-            cached = self._estimates[lanes] = estimate
-        return cached
+        with self._lock:
+            cached = self._estimates.get(lanes)
+            if cached is None:
+                if self._estimator is None:
+                    self._estimator = ResourceEstimator(self.pipeline.cost_db)
+                structure = derive_structure(self.family, lanes)
+                estimate = self._estimator.estimate_from_structure(
+                    structure,
+                    {self.fv.pe_name: self.pe_usage},
+                    design=f"{self.fv.kernel}_l{lanes}",
+                )
+                estimate.total += ResourceUsage(reg=self.fv.balancing_bits * lanes)
+                cached = self._estimates[lanes] = estimate
+            return cached
 
 
 @dataclass(frozen=True)
@@ -360,6 +369,14 @@ class DenseBackend:
     All caches are content-keyed and live for the backend's lifetime:
     repeated sweeps over the same family reduce to dictionary lookups
     plus array reshapes.
+
+    The backend is reentrant: every cache layer (pipelines, vectors,
+    axes, groups, whole sweeps) and every counter is guarded by one lock,
+    taken only around lookups and publications — the numpy evaluation
+    itself runs outside it, so concurrent sweeps over *different*
+    families still overlap.  Two threads racing to fill the same entry
+    both compute it (the stages are deterministic, so the results are
+    interchangeable) and the first publication wins.
     """
 
     #: evaluated-group cache entries kept before the cache is reset
@@ -378,6 +395,7 @@ class DenseBackend:
         self._groups: dict = {}
         self._sweeps: dict = {}
         self._throughput = ThroughputStage()
+        self._lock = threading.RLock()
         self.counters = {
             "sweeps": 0,
             "points": 0,
@@ -386,34 +404,45 @@ class DenseBackend:
             "sweep": [0, 0],
         }
 
+    def _count(self, counter: str, slot: int | None = None, n: int = 1) -> None:
+        with self._lock:
+            if slot is None:
+                self.counters[counter] += n
+            else:
+                self.counters[counter][slot] += n
+
     # -- cache layers --------------------------------------------------
     def pipeline_for(self, device: FPGADevice) -> EstimationPipeline:
-        pipeline = self._pipelines.get(device.name)
-        if pipeline is None:
-            pipeline = EstimationPipeline(CompilationOptions(device=device))
-            self._pipelines[device.name] = pipeline
-        return pipeline
+        with self._lock:
+            pipeline = self._pipelines.get(device.name)
+            if pipeline is None:
+                pipeline = EstimationPipeline(CompilationOptions(device=device))
+                self._pipelines[device.name] = pipeline
+            return pipeline
 
     def _vector_for(self, kernel, grid: tuple[int, ...], device: FPGADevice,
                     canonical_lanes: int):
         key = (kernel.name, grid, device.name)
-        cached = self._vectors.get(key)
+        with self._lock:
+            cached = self._vectors.get(key)
         if cached is not None:
-            self.counters["vector"][0] += 1
+            self._count("vector", 0)
             return cached
-        self.counters["vector"][1] += 1
+        self._count("vector", 1)
         pipeline = self.pipeline_for(device)
-        cached = extract_family_vector(pipeline, kernel, grid, canonical_lanes)
-        self._vectors[key] = cached
-        return cached
+        computed = extract_family_vector(pipeline, kernel, grid, canonical_lanes)
+        with self._lock:
+            return self._vectors.setdefault(key, computed)
 
     def _axis_for(self, fv: FamilyVector, lanes: tuple[int, ...],
                   device: FPGADevice) -> LaneAxis:
         key = (fv.kernel, fv.device, lanes)
-        axis = self._axes.get(key)
+        with self._lock:
+            axis = self._axes.get(key)
         if axis is None:
             axis = lane_axis(fv, lanes, device.resource_capacities())
-            self._axes[key] = axis
+            with self._lock:
+                axis = self._axes.setdefault(key, axis)
         return axis
 
     @staticmethod
@@ -442,19 +471,20 @@ class DenseBackend:
         """Evaluate every point of ``space`` in one broadcast pass."""
         started = time.perf_counter()
         space_key = self._space_key(space)
-        cached = self._sweeps.get(space_key)
+        with self._lock:
+            cached = self._sweeps.get(space_key)
         if cached is not None:
-            self.counters["sweep"][0] += 1
-            self.counters["sweeps"] += 1
-            self.counters["points"] += cached.evaluated
+            self._count("sweep", 0)
+            self._count("sweeps")
+            self._count("points", n=cached.evaluated)
             return cached._with_wall(time.perf_counter() - started)
-        self.counters["sweep"][1] += 1
+        self._count("sweep", 1)
 
         grid = DenseGrid.from_space(space)
         kernel = space.kernel
         workload = kernel.workload(tuple(space.grid), space.iterations)
-        self.counters["sweeps"] += 1
-        self.counters["points"] += len(grid)
+        self._count("sweeps")
+        self._count("points", n=len(grid))
 
         contexts: list[_DeviceContext] = []
         groups: dict[tuple[int, int, int], _Group] = {}
@@ -467,9 +497,10 @@ class DenseBackend:
         sweep = DenseSweep(grid, workload, contexts, groups, wall,
                            stats_cb=self.collect_stats)
         if len(grid) <= self.MAX_CACHED_SWEEP_POINTS:
-            if len(self._sweeps) >= self.MAX_CACHED_SWEEPS:
-                self._sweeps.clear()
-            self._sweeps[space_key] = sweep
+            with self._lock:
+                if len(self._sweeps) >= self.MAX_CACHED_SWEEPS:
+                    self._sweeps.clear()
+                sweep = self._sweeps.setdefault(space_key, sweep)
         return sweep
 
     def _context(self, kernel, grid: DenseGrid, device: FPGADevice) -> _DeviceContext:
@@ -489,8 +520,9 @@ class DenseBackend:
 
     def _evaluate_groups(self, ctx: _DeviceContext, di: int, grid: DenseGrid,
                          workload, groups: dict) -> None:
-        if len(self._groups) > self.MAX_CACHED_GROUPS:
-            self._groups.clear()
+        with self._lock:
+            if len(self._groups) > self.MAX_CACHED_GROUPS:
+                self._groups.clear()
         fv = ctx.fv
         footprint = workload.global_size * fv.nwpt * fv.word_bytes
         calibration = ctx.pipeline.calibrate()
@@ -504,9 +536,10 @@ class DenseBackend:
             for pi, pattern in enumerate(grid.patterns):
                 key = (fv.kernel, grid.grid, workload.repetitions, fv.device,
                        grid.lanes, clocks_key, form_value, pattern.value)
-                cached = self._groups.get(key)
+                with self._lock:
+                    cached = self._groups.get(key)
                 if cached is None:
-                    self.counters["group"][1] += 1
+                    self._count("group", 1)
                     options = CompilationOptions(device=ctx.device, form=form_value)
                     selection = self._throughput.select_form(footprint, options)
                     rho_h = host.rho(footprint)
@@ -530,9 +563,10 @@ class DenseBackend:
                         hpb_gbps=host.peak_gbps,
                         gpb_gbps=dram.peak_gbps,
                     )
-                    self._groups[key] = cached
+                    with self._lock:
+                        cached = self._groups.setdefault(key, cached)
                 else:
-                    self.counters["group"][0] += 1
+                    self._count("group", 0)
                 groups[(di, fi, pi)] = cached
 
     # -- the generic backend protocol ---------------------------------
@@ -546,13 +580,16 @@ class DenseBackend:
         Counters are cumulative over the backend's lifetime, matching the
         serial backend's semantics.
         """
-        payloads = [p.stats.as_dict() for p in self._pipelines.values()]
+        with self._lock:
+            pipelines = list(self._pipelines.values())
+            dense = {
+                "sweeps": self.counters["sweeps"],
+                "points": self.counters["points"],
+                "vector": list(self.counters["vector"]),
+                "group": list(self.counters["group"]),
+            }
+        payloads = [p.stats.as_dict() for p in pipelines]
         payloads.append(self._serial.collect_stats())
         merged = merge_stats(payloads)
-        merged["dense"] = {
-            "sweeps": self.counters["sweeps"],
-            "points": self.counters["points"],
-            "vector": list(self.counters["vector"]),
-            "group": list(self.counters["group"]),
-        }
+        merged["dense"] = dense
         return merged

@@ -25,6 +25,7 @@ sweep order plus the selection helpers exploration strategies build on
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -112,25 +113,47 @@ def _session_group_key(job: CostJob) -> tuple:
 
 
 class SerialBackend:
-    """Evaluate jobs in-process, one memoizing pipeline per session."""
+    """Evaluate jobs in-process, one memoizing pipeline per session.
+
+    Safe to share across threads: the session-pipeline registry is
+    created under a lock (one winner per session, concurrent losers adopt
+    it), and everything a shared pipeline touches — stage caches, the
+    process-wide calibration/family stores, the stats counters — is
+    individually locked.  Concurrent sweeps through one backend therefore
+    share each other's warm state instead of corrupting it.
+    """
 
     def __init__(self, pipeline: EstimationPipeline | None = None):
         self._pipelines: dict[tuple, EstimationPipeline] = {}
+        self._lock = threading.Lock()
         if pipeline is not None:
             self._pipelines[("options", id(pipeline.options))] = pipeline
 
     def pipeline_for(self, job: CostJob) -> EstimationPipeline:
         key = _session_group_key(job)
-        pipeline = self._pipelines.get(key)
-        if pipeline is None:
-            pipeline = self._pipelines[key] = EstimationPipeline(job.resolved_options())
-        return pipeline
+        with self._lock:
+            pipeline = self._pipelines.get(key)
+            if pipeline is None:
+                pipeline = self._pipelines[key] = EstimationPipeline(job.resolved_options())
+            return pipeline
 
-    def run(self, jobs: Sequence[CostJob]) -> list[CostReport]:
+    def run(
+        self,
+        jobs: Sequence[CostJob],
+        progress: Callable[[int, CostReport], None] | None = None,
+    ) -> list[CostReport]:
+        """Cost ``jobs`` in order; ``progress(index, report)`` fires per point.
+
+        The callback is what lets a long-lived consumer (the exploration
+        service) stream results while the batch is still running.
+        """
         reports = []
-        for job in jobs:
+        for index, job in enumerate(jobs):
             pipeline = self.pipeline_for(job)
-            reports.append(pipeline.cost(job.module, job.workload, job.point.pattern))
+            report = pipeline.cost(job.module, job.workload, job.point.pattern)
+            reports.append(report)
+            if progress is not None:
+                progress(index, report)
         return reports
 
     def collect_stats(self) -> dict:
@@ -140,7 +163,9 @@ class SerialBackend:
         reused across sweeps keeps counting), which is what a long-running
         exploration loop wants to watch.
         """
-        return merge_stats([p.stats.as_dict() for p in self._pipelines.values()])
+        with self._lock:
+            pipelines = list(self._pipelines.values())
+        return merge_stats([p.stats.as_dict() for p in pipelines])
 
 
 def _evaluate_batch(payload) -> tuple[list[tuple[int, CostReport]], dict]:

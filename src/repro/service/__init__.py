@@ -1,0 +1,35 @@
+"""The exploration service: shared warm caches behind an HTTP daemon.
+
+One long-lived process owns one warm set of estimation caches;
+concurrent clients POST ``.tirl`` designs or suite grid specs, identical
+in-flight requests coalesce onto one underlying sweep, and results
+stream back as canonical NDJSON.  See :mod:`repro.service.server` for
+the endpoint contract and :mod:`repro.service.client` for the stdlib
+client.
+"""
+
+from repro.service.client import ServiceClient, ServiceError, ServiceResponse
+from repro.service.coalesce import CoalescedTask, RequestCoalescer, TaskFailedError
+from repro.service.server import (
+    DEFAULT_PORT,
+    BadRequestError,
+    ExplorationService,
+    ServiceServer,
+    serve,
+    suite_config_from_spec,
+)
+
+__all__ = [
+    "BadRequestError",
+    "CoalescedTask",
+    "DEFAULT_PORT",
+    "ExplorationService",
+    "RequestCoalescer",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceResponse",
+    "ServiceServer",
+    "TaskFailedError",
+    "serve",
+    "suite_config_from_spec",
+]

@@ -1,0 +1,189 @@
+"""In-flight request coalescing keyed on content fingerprints.
+
+The exploration service's contract is that *identical work runs once*:
+when several clients ask for the same sweep — same kernels, same grid,
+same device axes, byte-identical canonical configuration — exactly one
+underlying computation executes and every client streams its results.
+Two layers make that hold regardless of how the requests interleave:
+
+:class:`CoalescedTask`
+    One underlying computation.  The *leader* (the request that arrived
+    first) publishes progress events as points complete and finishes the
+    task with the final report payload; *followers* attach to the task
+    and replay its event stream — events already published arrive
+    immediately, later ones as the leader lands them (a
+    ``threading.Condition`` broadcast per publish).
+
+:class:`RequestCoalescer`
+    The registry.  ``lease(key)`` hands back the in-flight task for
+    ``key`` (role ``follower``), a completed task from the bounded
+    results cache (role ``replay``), or a fresh task the caller must
+    drive (role ``leader``).  The results cache is what makes the
+    "exactly one sweep" guarantee *deterministic*: a second identical
+    request arriving a microsecond after the first completed still joins
+    the original computation instead of starting its own.
+
+Failures are never cached — a leader that raises poisons only the
+clients already attached; the next request for the same key becomes a
+fresh leader and retries.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+from repro.cost.cache import BoundedCache
+
+__all__ = ["CoalescedTask", "RequestCoalescer", "TaskFailedError"]
+
+
+class TaskFailedError(RuntimeError):
+    """Raised to followers when the leader's computation failed."""
+
+
+class CoalescedTask:
+    """One underlying computation, streamed to every attached client."""
+
+    def __init__(self, key: str):
+        self.key = key
+        self._cond = threading.Condition()
+        self._events: list[dict] = []
+        self._done = False
+        self._error: str | None = None
+        #: the final report event (set by :meth:`finish`)
+        self.result: dict | None = None
+        #: clients that attached instead of computing (leader excluded)
+        self.followers = 0
+
+    # ------------------------------------------------------------------
+    # leader side
+    # ------------------------------------------------------------------
+    def publish(self, event: dict) -> None:
+        """Append one progress event and wake every streaming follower."""
+        with self._cond:
+            self._events.append(event)
+            self._cond.notify_all()
+
+    def finish(self, result: dict) -> None:
+        """Mark the computation complete with its final payload."""
+        with self._cond:
+            self.result = result
+            self._done = True
+            self._cond.notify_all()
+
+    def fail(self, error: BaseException | str) -> None:
+        """Mark the computation failed; followers raise on stream end."""
+        with self._cond:
+            self._error = str(error)
+            self._done = True
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # follower side
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        with self._cond:
+            return self._done
+
+    def stream(self) -> Iterator[dict]:
+        """Yield every progress event, blocking until the task finishes.
+
+        Events published before the follower attached replay immediately;
+        later ones arrive as the leader lands them.  Raises
+        :class:`TaskFailedError` after the last event when the leader
+        failed.
+        """
+        cursor = 0
+        while True:
+            with self._cond:
+                while cursor >= len(self._events) and not self._done:
+                    self._cond.wait()
+                batch = self._events[cursor:]
+                cursor = len(self._events)
+                finished = self._done and cursor >= len(self._events)
+                error = self._error
+            yield from batch
+            if finished:
+                if error is not None:
+                    raise TaskFailedError(error)
+                return
+
+    def wait(self) -> dict:
+        """Block until the task completes; return the final payload."""
+        with self._cond:
+            while not self._done:
+                self._cond.wait()
+            if self._error is not None:
+                raise TaskFailedError(self._error)
+            assert self.result is not None
+            return self.result
+
+
+class RequestCoalescer:
+    """Deduplicate identical requests onto one underlying computation."""
+
+    def __init__(self, results_capacity: int = 64):
+        self._lock = threading.Lock()
+        self._inflight: dict[str, CoalescedTask] = {}
+        self._results = BoundedCache(maxsize=results_capacity,
+                                     name="service-results")
+        #: cumulative followers attached to an in-flight task
+        self.joined = 0
+        #: cumulative requests served from the completed-results cache
+        self.replayed = 0
+
+    def lease(self, key: str) -> tuple[CoalescedTask, str]:
+        """The task for ``key`` plus this caller's role.
+
+        ``leader``
+            A fresh task: the caller must compute, publish and either
+            :meth:`complete` or :meth:`abandon` it.
+        ``follower``
+            The computation is in flight; stream it.
+        ``replay``
+            The computation already completed; its task replays the full
+            stream without blocking.
+        """
+        with self._lock:
+            finished = self._results.get(key)
+            if finished is not None:
+                self.replayed += 1
+                return finished, "replay"
+            task = self._inflight.get(key)
+            if task is not None:
+                task.followers += 1
+                self.joined += 1
+                return task, "follower"
+            task = CoalescedTask(key)
+            self._inflight[key] = task
+            return task, "leader"
+
+    def complete(self, task: CoalescedTask, result: dict) -> None:
+        """Publish the leader's final payload and cache the task."""
+        task.finish(result)
+        with self._lock:
+            self._results.put(task.key, task)
+            self._inflight.pop(task.key, None)
+
+    def abandon(self, task: CoalescedTask, error: BaseException | str) -> None:
+        """Fail the task; the key becomes leasable again (no caching)."""
+        task.fail(error)
+        with self._lock:
+            self._inflight.pop(task.key, None)
+
+    # ------------------------------------------------------------------
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def info(self) -> dict:
+        """Counters for the ``/metrics`` endpoint."""
+        with self._lock:
+            return {
+                "in_flight": len(self._inflight),
+                "joined": self.joined,
+                "replayed": self.replayed,
+                "results_cache": self._results.info(),
+            }

@@ -1,0 +1,489 @@
+"""The exploration service: a persistent daemon in front of the caches.
+
+The cost model answers in milliseconds once its caches are warm — but a
+fresh CLI process pays calibration and family analysis on every
+invocation, and concurrent batch jobs each warm a private copy of the
+same state.  The service inverts that: one long-lived process owns one
+warm set of caches (calibration artifacts, design families, session
+pipelines, dense sweep vectors) and every client shares them.
+
+Endpoints (all JSON):
+
+``POST /suite``
+    Body: a :class:`~repro.suite.runner.SuiteConfig` spec (same fields
+    as ``tybec suite run``; plus ``"dense": true`` for the broadcast
+    evaluator and ``"tiny": true`` for the smoke grids).  Streams NDJSON
+    — one ``entry`` event per costed design point as it completes, then
+    one final ``report`` event whose payload is the *byte-identical*
+    canonical ``repro-suite-report/1`` a batch run would produce.
+
+``POST /cost``
+    Body: ``{"design": "<.tirl text>", "device": ..., "grid": [...],
+    "iterations": N, "pattern": ...}``.  One ``report`` event with the
+    canonical cost report.
+
+``GET /metrics``
+    Cache hit/miss counters, queue depth, in-flight coalesce counts and
+    per-stage timings.
+
+``GET /healthz``
+    Liveness probe.
+
+Identical in-flight requests are coalesced on their content fingerprint
+(the module hash for ``/cost``, the canonical configuration for
+``/suite``): one underlying sweep runs, every client streams it, and a
+bounded results cache replays recently-completed sweeps so the guarantee
+does not depend on microsecond arrival order.  A semaphore bounds
+concurrent sweeps; waiters are the reported queue depth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import threading
+import time
+from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.compiler.pipeline import CompilationOptions, EstimationPipeline
+from repro.explore.dense import DenseBackend
+from repro.explore.engine import (
+    SerialBackend,
+    SweepEntry,
+    SweepResult,
+    canonical_report_dict,
+    merge_stats,
+)
+from repro.models import KernelInstance, NDRange, PatternKind
+from repro.service.coalesce import CoalescedTask, RequestCoalescer, TaskFailedError
+from repro.substrate import get_device
+from repro.suite.report import canonical_json, canonical_json_line
+from repro.suite.runner import SuiteConfig, WorkloadSuite, build_suite_report
+
+__all__ = [
+    "BadRequestError",
+    "ExplorationService",
+    "ServiceServer",
+    "serve",
+    "suite_config_from_spec",
+]
+
+DEFAULT_PORT = 8731
+
+
+class BadRequestError(ValueError):
+    """A malformed or unsatisfiable request body (HTTP 400)."""
+
+
+def suite_config_from_spec(spec: dict) -> SuiteConfig:
+    """Build a :class:`SuiteConfig` from a request body.
+
+    Mirrors the ``tybec suite run`` flag handling: ``"tiny": true``
+    starts from the golden smoke configuration, every other field
+    overrides the corresponding config axis.  Unknown fields are an
+    error — a typo must not silently cost a different grid.
+    """
+    spec = dict(spec)
+    tiny = bool(spec.pop("tiny", False))
+    known = {f.name for f in dataclasses.fields(SuiteConfig)}
+    unknown = sorted(set(spec) - known)
+    if unknown:
+        raise BadRequestError(
+            f"unknown suite field(s) {unknown}; known: {sorted(known)} "
+            f"(plus 'tiny' and 'dense')"
+        )
+    for name in ("kernels", "devices", "forms", "patterns", "clocks_mhz"):
+        if name in spec and spec[name] is not None:
+            spec[name] = tuple(spec[name])
+    if spec.get("lanes") is not None:
+        spec["lanes"] = tuple(spec["lanes"])
+    if "grids" in spec:
+        spec["grids"] = {k: tuple(v) for k, v in dict(spec["grids"]).items()}
+    try:
+        if tiny:
+            config = SuiteConfig.tiny(
+                kernels=spec.pop("kernels", ()),
+                devices=spec.pop("devices", ("stratix-v",)),
+                max_lanes=spec.pop("max_lanes", 4),
+            )
+            config = dataclasses.replace(config, **spec) if spec else config
+        else:
+            config = SuiteConfig(**spec)
+        config.resolved_kernels()          # validate kernel names now
+        for device in config.devices:      # and device names
+            get_device(device)
+    except (KeyError, ValueError, TypeError) as exc:
+        raise BadRequestError(str(exc.args[0] if exc.args else exc)) from exc
+    return config
+
+
+def _fingerprint(kind: str, payload: dict) -> str:
+    """The content fingerprint identical requests coalesce on."""
+    body = canonical_json({"kind": kind, **payload})
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+class ExplorationService:
+    """The shared warm state plus the request coalescer behind the HTTP
+    front end (usable directly, without any socket, for tests)."""
+
+    def __init__(self, max_concurrency: int = 4, results_capacity: int = 64):
+        self.max_concurrency = max(1, max_concurrency)
+        self._backend = SerialBackend()
+        self._dense = DenseBackend()
+        self.coalescer = RequestCoalescer(results_capacity=results_capacity)
+        self._pipelines: dict[str, EstimationPipeline] = {}
+        self._lock = threading.Lock()
+        self._gate = threading.Semaphore(self.max_concurrency)
+        self._queued = 0
+        self._active = 0
+        self.started = time.time()
+        self.requests = {"cost": 0, "suite": 0, "metrics": 0, "errors": 0}
+        self.sweeps = {"started": 0, "completed": 0}
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def count_request(self, endpoint: str) -> None:
+        with self._lock:
+            self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
+
+    @contextmanager
+    def _slot(self):
+        """Backpressure: bounded concurrent sweeps, waiters = queue depth."""
+        with self._lock:
+            self._queued += 1
+        self._gate.acquire()
+        with self._lock:
+            self._queued -= 1
+            self._active += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._active -= 1
+            self._gate.release()
+
+    def metrics(self) -> dict:
+        """The ``/metrics`` payload: queue, coalescing and cache health."""
+        with self._lock:
+            requests = dict(self.requests)
+            sweeps = dict(self.sweeps)
+            queued, active = self._queued, self._active
+            pipelines = list(self._pipelines.values())
+        stats = merge_stats(
+            [self._backend.collect_stats(), self._dense.collect_stats()]
+            + [p.stats.as_dict() for p in pipelines]
+        )
+        disk = None
+        from repro.cost.cache import default_disk_cache
+
+        cache = default_disk_cache()
+        if cache is not None:
+            disk = cache.stats()
+        return {
+            "uptime_seconds": time.time() - self.started,
+            "requests": requests,
+            "sweeps": sweeps,
+            "queue": {
+                "depth": queued,
+                "active": active,
+                "capacity": self.max_concurrency,
+            },
+            "coalesce": self.coalescer.info(),
+            "pipeline": stats,
+            "disk_cache": disk,
+        }
+
+    # ------------------------------------------------------------------
+    # /cost — one design variant
+    # ------------------------------------------------------------------
+    def _pipeline_for_device(self, device_name: str) -> EstimationPipeline:
+        with self._lock:
+            pipeline = self._pipelines.get(device_name)
+            if pipeline is None:
+                options = CompilationOptions(device=get_device(device_name))
+                pipeline = self._pipelines[device_name] = EstimationPipeline(options)
+            return pipeline
+
+    def lease_cost(self, spec: dict) -> tuple[CoalescedTask, str, dict]:
+        """Parse a ``/cost`` body; lease its coalesced task.
+
+        Returns ``(task, role, request)`` where ``request`` carries the
+        parsed module and workload a leader needs to compute.
+        """
+        if not isinstance(spec, dict) or "design" not in spec:
+            raise BadRequestError("body must be a JSON object with a 'design' "
+                                  "field holding the .tirl text")
+        device = str(spec.get("device", "stratix-v"))
+        grid = tuple(int(d) for d in spec.get("grid", (24, 24, 24)))
+        iterations = int(spec.get("iterations", 1000))
+        pattern = str(spec.get("pattern", "contiguous"))
+        name = str(spec.get("name", "design"))
+        try:
+            get_device(device)
+            pattern_kind = PatternKind(pattern)
+            from repro.compiler import TybecCompiler
+
+            module = TybecCompiler(CompilationOptions()).parse(
+                spec["design"], name=name)
+        except Exception as exc:
+            raise BadRequestError(str(exc.args[0] if exc.args else exc)) from exc
+        key = _fingerprint("cost", {
+            "module": module.content_fingerprint(),
+            "device": device,
+            "grid": list(grid),
+            "iterations": iterations,
+            "pattern": pattern,
+        })
+        task, role = self.coalescer.lease(key)
+        request = {
+            "module": module,
+            "device": device,
+            "workload": KernelInstance(kernel=module.name, ndrange=NDRange(grid),
+                                       repetitions=iterations),
+            "pattern": pattern_kind,
+        }
+        return task, role, request
+
+    def run_cost(self, request: dict) -> dict:
+        """Leader path of one ``/cost`` request: cost the variant."""
+        with self._slot():
+            pipeline = self._pipeline_for_device(request["device"])
+            report = pipeline.cost(request["module"], request["workload"],
+                                   request["pattern"])
+        return {
+            "event": "report",
+            "kind": "cost",
+            "payload": canonical_report_dict(report),
+        }
+
+    # ------------------------------------------------------------------
+    # /suite — a whole sweep grid
+    # ------------------------------------------------------------------
+    def lease_suite(self, spec: dict) -> tuple[CoalescedTask, str, dict]:
+        """Parse a ``/suite`` body; lease its coalesced task."""
+        if not isinstance(spec, dict):
+            raise BadRequestError("body must be a JSON object")
+        spec = dict(spec)
+        dense = bool(spec.pop("dense", False))
+        config = suite_config_from_spec(spec)
+        key = _fingerprint("suite", {"config": config.as_dict(), "dense": dense})
+        task, role = self.coalescer.lease(key)
+        return task, role, {"config": config, "dense": dense}
+
+    def run_suite(self, request: dict, publish) -> dict:
+        """Leader path of one ``/suite`` request.
+
+        Streams one ``entry`` event per costed point through ``publish``
+        (points land in deterministic sweep order), then returns the
+        final ``report`` event.  The report payload goes through
+        :func:`~repro.suite.runner.build_suite_report`, so it is
+        byte-identical to what ``WorkloadSuite.run()`` — and therefore
+        ``tybec suite run`` — produces for the same configuration.
+        """
+        config: SuiteConfig = request["config"]
+        backend = self._dense if request["dense"] else self._backend
+        with self._slot():
+            with self._lock:
+                self.sweeps["started"] += 1
+            suite = WorkloadSuite(config, backend=backend)
+            if request["dense"]:
+                spaces, sweep = suite.sweep()
+                for index, entry in enumerate(sweep.entries):
+                    publish(self._entry_event(index, entry))
+            else:
+                spaces = suite.spaces()
+                jobs = suite.jobs(spaces)
+                if not jobs:
+                    raise BadRequestError(
+                        "suite has no design points (no valid lane counts "
+                        "for the configured grids?)"
+                    )
+                started = time.perf_counter()
+
+                def _progress(index: int, report) -> None:
+                    publish(self._entry_event(
+                        index, SweepEntry(jobs[index].point, report)))
+
+                reports = self._backend.run(jobs, progress=_progress)
+                sweep = SweepResult(
+                    entries=[SweepEntry(job.point, report)
+                             for job, report in zip(jobs, reports)],
+                    wall_seconds=time.perf_counter() - started,
+                    stats=self._backend.collect_stats(),
+                )
+            report = build_suite_report(config, spaces, sweep)
+            with self._lock:
+                self.sweeps["completed"] += 1
+        return {
+            "event": "report",
+            "kind": "suite",
+            "payload": report.canonical_dict(),
+            "evaluated": sweep.evaluated,
+        }
+
+    @staticmethod
+    def _entry_event(index: int, entry: SweepEntry) -> dict:
+        return {"event": "entry", "index": index, **entry.as_dict()}
+
+
+# ----------------------------------------------------------------------
+# HTTP front end
+# ----------------------------------------------------------------------
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "tybec-service/1"
+
+    @property
+    def service(self) -> ExplorationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # -- plumbing ------------------------------------------------------
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _start_stream(self) -> None:
+        self._broken = False
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+
+    def _stream_event(self, event: dict) -> None:
+        """Write one NDJSON line as an HTTP chunk.
+
+        A client hanging up must not kill the computation — followers
+        (and the results cache) still need it — so write failures just
+        stop this connection's output.
+        """
+        if self._broken:
+            return
+        data = canonical_json_line(event).encode()
+        try:
+            self.wfile.write(f"{len(data):X}\r\n".encode() + data + b"\r\n")
+            self.wfile.flush()
+        except OSError:
+            self._broken = True
+
+    def _end_stream(self) -> None:
+        if self._broken:
+            return
+        try:
+            self.wfile.write(b"0\r\n\r\n")
+            self.wfile.flush()
+        except OSError:
+            self._broken = True
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(raw or b"null")
+        except ValueError as exc:
+            raise BadRequestError(f"request body is not valid JSON: {exc}") \
+                from exc
+        if not isinstance(payload, dict):
+            raise BadRequestError("request body must be a JSON object")
+        return payload
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/healthz":
+            self._send_json({"ok": True, "service": "tybec-exploration"})
+        elif self.path == "/metrics":
+            self.service.count_request("metrics")
+            self._send_json(self.service.metrics())
+        else:
+            self.service.count_request("errors")
+            self._send_json({"error": f"no such endpoint {self.path!r}"}, 404)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            spec = self._read_body()
+            if self.path == "/suite":
+                self.service.count_request("suite")
+                task, role, request = self.service.lease_suite(spec)
+            elif self.path == "/cost":
+                self.service.count_request("cost")
+                task, role, request = self.service.lease_cost(spec)
+            else:
+                self.service.count_request("errors")
+                self._send_json({"error": f"no such endpoint {self.path!r}"},
+                                404)
+                return
+        except BadRequestError as exc:
+            self.service.count_request("errors")
+            self._send_json({"error": str(exc)}, 400)
+            return
+        self._start_stream()
+        self._stream_event({"event": "meta", "fingerprint": task.key,
+                            "role": role})
+        runner = (self.service.run_suite if self.path == "/suite"
+                  else lambda req, publish: self.service.run_cost(req))
+        if role == "leader":
+            def _publish(event: dict) -> None:
+                task.publish(event)
+                self._stream_event(event)
+
+            try:
+                result = runner(request, _publish)
+            except Exception as exc:  # noqa: BLE001 - reported to clients
+                self.service.coalescer.abandon(task, exc)
+                self.service.count_request("errors")
+                self._stream_event({"event": "error", "message": str(exc)})
+                self._end_stream()
+                return
+            self.service.coalescer.complete(task, result)
+            self._stream_event(result)
+        else:
+            try:
+                for event in task.stream():
+                    self._stream_event(event)
+                self._stream_event(task.wait())
+            except TaskFailedError as exc:
+                self.service.count_request("errors")
+                self._stream_event({"event": "error", "message": str(exc)})
+        self._end_stream()
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """The threaded HTTP server wrapping one :class:`ExplorationService`."""
+
+    daemon_threads = True
+    # socketserver's default listen backlog of 5 drops SYNs under a
+    # concurrent-client burst; the kernel's 1 s retransmit then shows up
+    # as a latency cliff on otherwise-millisecond requests
+    request_queue_size = 128
+
+    def __init__(self, address: tuple[str, int],
+                 service: ExplorationService | None = None,
+                 verbose: bool = False):
+        super().__init__(address, _ServiceHandler)
+        self.service = service or ExplorationService()
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def serve(host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+          max_concurrency: int = 4, verbose: bool = False) -> ServiceServer:
+    """Bind the service (``port=0`` for an ephemeral port); caller runs
+    ``serve_forever()`` (or drives it from a background thread)."""
+    service = ExplorationService(max_concurrency=max_concurrency)
+    return ServiceServer((host, port), service, verbose=verbose)

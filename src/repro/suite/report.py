@@ -31,6 +31,7 @@ __all__ = [
     "FLOAT_SIGNIFICANT_DIGITS",
     "canonicalize",
     "canonical_json",
+    "canonical_json_line",
     "SuiteReport",
     "load_report",
 ]
@@ -72,6 +73,19 @@ def canonicalize(value, float_digits: int = FLOAT_SIGNIFICANT_DIGITS):
 def canonical_json(payload) -> str:
     """The canonical serialisation: sorted keys, 2-space indent, newline."""
     return json.dumps(canonicalize(payload), sort_keys=True, indent=2) + "\n"
+
+
+def canonical_json_line(payload) -> str:
+    """One canonical NDJSON line: same normalisation, no indentation.
+
+    This is the streaming sibling of :func:`canonical_json` — the
+    exploration service emits one line per event (progress entries, then
+    the final report), and clients that concatenate the ``report`` event's
+    payload back through :func:`canonical_json` recover the byte-identical
+    file a batch run would have written.
+    """
+    return json.dumps(canonicalize(payload), sort_keys=True,
+                      separators=(",", ":")) + "\n"
 
 
 @dataclass

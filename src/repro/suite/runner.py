@@ -25,7 +25,8 @@ from repro.models.streaming import PatternKind
 from repro.suite.report import SCHEMA, SuiteReport
 from repro.substrate import get_device
 
-__all__ = ["SuiteConfig", "SuiteRun", "WorkloadSuite", "tiny_grid"]
+__all__ = ["SuiteConfig", "SuiteRun", "WorkloadSuite", "build_suite_report",
+           "tiny_grid"]
 
 
 def tiny_grid(default_grid: tuple[int, ...], cap: int = 8) -> tuple[int, ...]:
@@ -151,6 +152,48 @@ class SuiteRun:
         return self.sweep.stats
 
 
+def build_suite_report(config: SuiteConfig, spaces: dict[str, DesignSpace],
+                       sweep: SweepResult) -> SuiteReport:
+    """Fold one completed sweep into the canonical suite report.
+
+    Shared by :meth:`WorkloadSuite.run` and the exploration service so a
+    report served over HTTP is byte-identical to the one a batch run (or
+    ``tybec suite run``) writes for the same configuration — the
+    acceptance criterion the golden harness and the coalescing tests both
+    pin.
+    """
+    kernels: dict[str, dict] = {}
+    feasible_total = 0
+    for name, entries in WorkloadSuite.kernel_entries(spaces, sweep).items():
+        count = len(entries)
+        workload = config.workload_for(name)
+        best = None
+        feasible = [e for e in entries if e.report.feasible]
+        feasible_total += len(feasible)
+        if feasible:
+            best = max(feasible, key=lambda e: e.report.ekit).point.as_dict()
+        kernels[name] = {
+            "workload": {"grid": list(workload.grid),
+                         "iterations": workload.iterations},
+            "points": count,
+            "feasible_points": len(feasible),
+            "best": best,
+            "entries": [e.as_dict() for e in entries],
+        }
+
+    payload = {
+        "schema": SCHEMA,
+        "config": config.as_dict(),
+        "kernels": kernels,
+        "totals": {
+            "kernels": len(kernels),
+            "points": sweep.evaluated,
+            "feasible": feasible_total,
+        },
+    }
+    return SuiteReport(payload)
+
+
 class WorkloadSuite:
     """Enumerate kernel x device x form x lane grids and cost them in batch."""
 
@@ -237,37 +280,8 @@ class WorkloadSuite:
     def run(self) -> SuiteRun:
         """Cost the whole suite and fold it into the canonical report."""
         spaces, sweep = self.sweep()
-
-        kernels: dict[str, dict] = {}
-        feasible_total = 0
-        for name, entries in self.kernel_entries(spaces, sweep).items():
-            count = len(entries)
-            workload = self.config.workload_for(name)
-            best = None
-            feasible = [e for e in entries if e.report.feasible]
-            feasible_total += len(feasible)
-            if feasible:
-                best = max(feasible, key=lambda e: e.report.ekit).point.as_dict()
-            kernels[name] = {
-                "workload": {"grid": list(workload.grid),
-                             "iterations": workload.iterations},
-                "points": count,
-                "feasible_points": len(feasible),
-                "best": best,
-                "entries": [e.as_dict() for e in entries],
-            }
-
-        payload = {
-            "schema": SCHEMA,
-            "config": self.config.as_dict(),
-            "kernels": kernels,
-            "totals": {
-                "kernels": len(kernels),
-                "points": sweep.evaluated,
-                "feasible": feasible_total,
-            },
-        }
-        return SuiteRun(report=SuiteReport(payload), sweep=sweep)
+        report = build_suite_report(self.config, spaces, sweep)
+        return SuiteRun(report=report, sweep=sweep)
 
     # ------------------------------------------------------------------
     def summary_rows(self, run: SuiteRun) -> list[dict]:

@@ -1,0 +1,218 @@
+"""Concurrency stress tests for the cache layer.
+
+The exploration service shares one :class:`BoundedCache` /
+:class:`DiskCache` instance across every request thread, so the cache
+layer must survive genuinely concurrent get/put/stats/clear traffic —
+with eviction active — without raising and without losing counter
+consistency.  These tests hammer both caches from many threads behind a
+barrier (maximum contention) and then check the invariants the locked
+counters promise.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cost.cache import BoundedCache, DiskCache, env_capacity
+
+THREADS = 8
+OPS = 150
+
+
+def _run_threads(worker, count=THREADS):
+    """Start ``count`` workers behind one barrier; re-raise any failure."""
+    barrier = threading.Barrier(count)
+    errors: list[BaseException] = []
+    results: list = []
+
+    def _wrapped(tid: int) -> None:
+        try:
+            barrier.wait()
+            results.append(worker(tid))
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the test
+            errors.append(exc)
+
+    threads = [threading.Thread(target=_wrapped, args=(tid,))
+               for tid in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return results
+
+
+class TestBoundedCacheThreaded:
+    def test_stress_with_eviction(self):
+        cache = BoundedCache(maxsize=16, name="stress")
+
+        def worker(tid: int) -> int:
+            gets = 0
+            for i in range(OPS):
+                key = ("k", (tid * 7 + i) % 48)  # 48 keys >> 16 slots
+                op = i % 5
+                if op in (0, 1):
+                    cache.put(key, i)
+                elif op in (2, 3):
+                    cache.get(key)
+                    gets += 1
+                else:
+                    info = cache.info()
+                    assert info["size"] <= info["capacity"]
+                    assert len(cache) <= cache.maxsize
+            return gets
+
+        total_gets = sum(_run_threads(worker))
+        info = cache.info()
+        assert info["hits"] + info["misses"] == total_gets
+        assert info["size"] <= info["capacity"]
+        assert info["evictions"] > 0, "eviction never fired: stress too gentle"
+
+    def test_concurrent_clear_is_safe(self):
+        cache = BoundedCache(maxsize=8)
+
+        def worker(tid: int) -> None:
+            for i in range(OPS):
+                if tid == 0 and i % 25 == 0:
+                    cache.clear()
+                else:
+                    cache.put((tid, i % 12), i)
+                    cache.get((tid, (i + 1) % 12))
+
+        _run_threads(worker)
+        assert len(cache) <= cache.maxsize
+
+
+class TestDiskCacheThreaded:
+    def test_stress_get_put_stats_clear(self, tmp_path):
+        cache = DiskCache(tmp_path, capacity=8)
+
+        def worker(tid: int) -> int:
+            gets = 0
+            for i in range(OPS):
+                token = ("k", (tid * 5 + i) % 24)  # 24 keys >> capacity 8
+                op = i % 7
+                if op in (0, 1):
+                    cache.put("stress", token, list(range(16)))
+                elif op in (2, 3, 4):
+                    cache.get("stress", token)
+                    gets += 1
+                elif op == 5:
+                    stats = cache.stats()
+                    assert stats["capacity_per_namespace"] == 8
+                elif tid == 0 and i % 49 == 6:
+                    cache.clear()
+            return gets
+
+        total_gets = sum(_run_threads(worker))
+        stats = cache.stats()
+        # every get() increments exactly one of hits/misses, under the lock
+        assert stats["hits"] + stats["misses"] == total_gets
+        for info in stats["namespaces"].values():
+            assert info["entries"] >= 0
+            assert info["bytes"] >= 0
+
+    def test_stats_survives_concurrent_eviction(self, tmp_path):
+        """The iterdir/stat race: stats() while eviction unlinks entries."""
+        cache = DiskCache(tmp_path, capacity=4)
+        stop = threading.Event()
+
+        def churn() -> None:
+            i = 0
+            while not stop.is_set():
+                cache.put("churn", ("t", i % 32), b"x" * 64)
+                i += 1
+
+        threads = [threading.Thread(target=churn) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(200):
+                stats = cache.stats()  # must never raise FileNotFoundError
+                assert stats["schema_version"] >= 1
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert cache.stats()["evictions"] > 0
+
+    def test_occupancy_stays_bounded_under_threads(self, tmp_path):
+        cache = DiskCache(tmp_path, capacity=6)
+
+        def worker(tid: int) -> None:
+            for i in range(OPS):
+                cache.put("bound", ("t", tid, i), i)
+
+        _run_threads(worker)
+        entries = cache.stats()["namespaces"]["bound"]["entries"]
+        # concurrent scans may interleave, but occupancy cannot run away:
+        # every stride-th put per thread trims back toward capacity
+        assert entries <= 6 + DiskCache.EVICTION_STRIDE * THREADS
+
+
+class TestCapacityValidation:
+    def test_env_capacity_rejects_zero(self, monkeypatch):
+        monkeypatch.setenv("TYBEC_DISK_CACHE_CAPACITY", "0")
+        with pytest.warns(RuntimeWarning, match="evict every cache entry"):
+            assert env_capacity("TYBEC_DISK_CACHE_CAPACITY", 256) == 256
+
+    def test_env_capacity_rejects_negative(self, monkeypatch):
+        monkeypatch.setenv("TYBEC_DISK_CACHE_CAPACITY", "-3")
+        with pytest.warns(RuntimeWarning):
+            assert env_capacity("TYBEC_DISK_CACHE_CAPACITY", 256) == 256
+
+    def test_env_capacity_accepts_positive(self, monkeypatch):
+        monkeypatch.setenv("TYBEC_DISK_CACHE_CAPACITY", "17")
+        assert env_capacity("TYBEC_DISK_CACHE_CAPACITY", 256) == 17
+
+    def test_disk_cache_env_zero_falls_back(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("TYBEC_DISK_CACHE_CAPACITY", "0")
+        with pytest.warns(RuntimeWarning):
+            cache = DiskCache(tmp_path)
+        assert cache.capacity == DiskCache.DEFAULT_CAPACITY
+        # the fallback must actually protect the data: a put may not
+        # evict the entry it just wrote
+        cache.put("ns", ("a",), 1)
+        assert cache.get("ns", ("a",)) == 1
+
+    def test_disk_cache_explicit_zero_falls_back(self, tmp_path):
+        with pytest.warns(RuntimeWarning):
+            cache = DiskCache(tmp_path, capacity=0)
+        assert cache.capacity == DiskCache.DEFAULT_CAPACITY
+
+    def test_disk_cache_explicit_negative_falls_back(self, tmp_path):
+        with pytest.warns(RuntimeWarning):
+            cache = DiskCache(tmp_path, capacity=-1)
+        assert cache.capacity == DiskCache.DEFAULT_CAPACITY
+
+
+class TestFirstPutEvictionScan:
+    def test_short_lived_workers_cannot_overshoot(self, tmp_path):
+        """Fresh processes writing fewer than EVICTION_STRIDE entries each
+        used to grow a namespace without bound (their per-process put
+        counter never reached the stride); the first put of each process
+        now scans on-disk occupancy instead."""
+        capacity, per_worker = 4, 5
+        assert per_worker < DiskCache.EVICTION_STRIDE
+        for worker in range(6):
+            cache = DiskCache(tmp_path, capacity=capacity)  # a "new process"
+            for i in range(per_worker):
+                cache.put("fleet", ("w", worker, i), b"payload")
+        entries = DiskCache(tmp_path, capacity=capacity) \
+            .stats()["namespaces"]["fleet"]["entries"]
+        # each worker's first put trims accumulated excess, so occupancy
+        # is bounded by capacity + one worker's writes — not 6 * 5 = 30
+        assert entries <= capacity + per_worker
+
+    def test_first_put_scan_trims_existing_excess(self, tmp_path):
+        writer = DiskCache(tmp_path, capacity=100)
+        for i in range(20):
+            writer.put("ns", ("seed", i), i)
+        fresh = DiskCache(tmp_path, capacity=4)
+        fresh.put("ns", ("new",), 0)  # first put: scan fires immediately
+        entries = fresh.stats()["namespaces"]["ns"]["entries"]
+        assert entries <= 4
+        assert fresh.stats()["evictions"] > 0
