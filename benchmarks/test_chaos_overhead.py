@@ -1,0 +1,88 @@
+"""Fault-injection instrumentation overhead -> BENCH_chaos.json.
+
+The resilience layer threads ``maybe_fail`` probes through the hot
+paths — disk-cache reads/writes, engine batch evaluation, tool launches,
+service handlers.  Those probes must be free when no chaos is running:
+this benchmark times the full-grid warm sweep twice, once with no fault
+plan (the production fast path: one ``dict`` lookup per probe) and once
+with an *active all-sites zero-rate plan* (the worst instrumented case:
+every probe takes the plan lock and advances a counter without ever
+injecting), and gates the difference at <5%.
+
+Both runs must also produce byte-identical canonical reports — an
+armed-but-silent plan may cost nanoseconds, never bytes.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.compiler.pipeline import clear_calibration_cache
+from repro.resilience import COUNTERS, FaultPlan
+from repro.suite import WorkloadSuite
+
+from benchmarks.test_suite_throughput import FULL_GRID_CONFIG
+
+#: the gate: an armed-but-silent fault plan may slow the warm full-grid
+#: sweep by at most this factor (plus a small absolute slack for CI
+#: timer noise on sub-second sweeps)
+MAX_OVERHEAD_RATIO = 1.05
+ABSOLUTE_SLACK_SECONDS = 0.1
+
+#: every instrumented site, armed at rate 0.0 — the probe does all its
+#: bookkeeping (lock, counter, schedule draw short-circuit) and never fires
+ZERO_RATE_SITES = {site: 0.0 for site in
+                   ("cache.read", "cache.write", "worker", "tool",
+                    "service.handler")}
+
+
+def _best_of(runner, repeats: int = 3):
+    best = None
+    for _ in range(repeats):
+        clear_calibration_cache()
+        run = runner()
+        if best is None or run.wall_seconds < best.wall_seconds:
+            best = run
+    return best
+
+
+def test_zero_rate_plan_overhead_is_negligible(results_dir, monkeypatch,
+                                               tmp_path):
+    """Record the armed-vs-unarmed warm-sweep delta in BENCH_chaos.json."""
+    monkeypatch.setenv("TYBEC_CACHE_DIR", str(tmp_path / "chaos-bench-cache"))
+    suite = WorkloadSuite(FULL_GRID_CONFIG)
+    _best_of(suite.run, repeats=1)   # populate the persistent store
+
+    clean = _best_of(suite.run)
+    plan = FaultPlan(dict(ZERO_RATE_SITES), seed=0)
+    with plan.active():
+        armed = _best_of(suite.run)
+    clear_calibration_cache()
+
+    # an armed-but-silent plan never changes a byte
+    assert armed.report.to_json() == clean.report.to_json()
+    # the probes were actually exercised (the timing is non-vacuous) ...
+    stats = plan.stats()
+    probed = sum(s["calls"] for s in stats["sites"].values())
+    assert probed > 0, stats
+    # ... and none of them fired
+    assert all(s["injected"] == 0 for s in stats["sites"].values()), stats
+
+    overhead = armed.wall_seconds / clean.wall_seconds
+    payload = {
+        "points": clean.evaluated,
+        "config": FULL_GRID_CONFIG.as_dict(),
+        "clean_wall_seconds": clean.wall_seconds,
+        "armed_wall_seconds": armed.wall_seconds,
+        "overhead_ratio": overhead,
+        "max_overhead_ratio": MAX_OVERHEAD_RATIO,
+        "probe_calls": stats["sites"],
+        "reports_identical": True,
+        "resilience_counters": COUNTERS.snapshot(),
+    }
+    (results_dir / "BENCH_chaos.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+    assert clean.evaluated >= 300
+    assert armed.wall_seconds <= (clean.wall_seconds * MAX_OVERHEAD_RATIO
+                                  + ABSOLUTE_SLACK_SECONDS), payload

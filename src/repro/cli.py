@@ -364,6 +364,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: 4)")
     serve_p.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
+    serve_p.add_argument("--request-deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="default per-request compute budget (bodies "
+                              "may name their own 'deadline_seconds'; "
+                              "default: unlimited)")
+    serve_p.add_argument("--drain-timeout", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="on SIGTERM/Ctrl-C, wait this long for "
+                              "in-flight requests to finish before "
+                              "exiting (default: 30)")
 
     client_p = sub.add_parser(
         "client", help="talk to a running exploration service")
@@ -1085,24 +1095,47 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
     from repro.service import serve
 
     try:
         server = serve(host=args.host, port=args.port,
                        max_concurrency=args.max_concurrency,
-                       verbose=args.verbose)
+                       verbose=args.verbose,
+                       request_deadline=args.request_deadline)
     except OSError as exc:
         print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
         return 2
     print(f"tybec exploration service listening on "
           f"http://{args.host}:{server.port} "
-          f"({args.max_concurrency} concurrent sweep(s); Ctrl-C to stop)")
+          f"({args.max_concurrency} concurrent sweep(s); Ctrl-C to stop)",
+          flush=True)
+
+    # SIGTERM means "drain, don't drop": stop accepting, let every
+    # in-flight stream finish, then exit 0.  shutdown() must run off the
+    # serve_forever thread (it blocks until the accept loop exits, and
+    # the signal handler runs *on* that thread), hence the helper thread.
+    def _on_sigterm(signum, frame):
+        print("SIGTERM: draining in-flight requests", flush=True)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("shutting down")
+        print("shutting down", flush=True)
     finally:
+        signal.signal(signal.SIGTERM, previous)
+        drained = server.drain(args.drain_timeout)
         server.server_close()
+        if drained:
+            print("drained; exiting", flush=True)
+        else:
+            print(f"drain timed out after {args.drain_timeout:g}s; "
+                  f"{server.inflight_requests()} request(s) abandoned",
+                  file=sys.stderr, flush=True)
     return 0
 
 

@@ -36,9 +36,12 @@ import pickle
 import tempfile
 import threading
 import warnings
+import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from pathlib import Path
+
+from repro.resilience import COUNTERS, InjectedFault, maybe_fail
 
 __all__ = [
     "BoundedCache",
@@ -147,6 +150,18 @@ class DiskCache:
     #: default per-namespace capacity (also the fallback for bad overrides)
     DEFAULT_CAPACITY = 256
 
+    #: decode failures before an entry is quarantined rather than retried.
+    #: One torn read can be a transient fs hiccup; an entry that cannot be
+    #: unpickled three times is evidence worth keeping off the read path
+    #: but on disk (renamed ``.quarantined``) for post-mortem.
+    QUARANTINE_AFTER = 3
+
+    #: age (seconds) past which an orphaned ``.tmp`` file — a writer that
+    #: died between temp-write and atomic rename — is swept.  Generous
+    #: compared to the milliseconds a live writer holds one, so a sweep
+    #: can never race a healthy concurrent put.
+    ORPHAN_TMP_AGE = 300.0
+
     def __init__(self, root: Path | str, capacity: int | None = None):
         self.root = Path(root)
         if capacity is None:
@@ -164,8 +179,19 @@ class DiskCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.quarantined = 0
+        self.orphans_removed = 0
         self._lock = threading.Lock()
         self._put_counts: dict[str, int] = {}
+        #: consecutive decode failures per entry path (reset by a put)
+        self._decode_failures: dict[str, int] = {}
+        if self.version_dir.is_dir():
+            try:
+                for ns_dir in self.version_dir.iterdir():
+                    if ns_dir.is_dir():
+                        self._sweep_orphans(ns_dir)
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------
     @property
@@ -180,6 +206,15 @@ class DiskCache:
     def get(self, namespace: str, token):
         """Load one entry, or None on miss/corruption/schema mismatch."""
         path = self._entry_path(namespace, token)
+        try:
+            # before the decode path, so an injected read fault becomes a
+            # plain miss and can never strike (or quarantine) a healthy
+            # entry the way real corruption does
+            maybe_fail("cache.read")
+        except InjectedFault:
+            with self._lock:
+                self.misses += 1
+            return None
         try:
             with open(path, "rb") as fh:
                 payload = pickle.load(fh)
@@ -196,17 +231,28 @@ class DiskCache:
                 self.misses += 1
             return None
         except Exception:
-            # torn, corrupt or incompatible entry: treat as a miss and
-            # drop it so it cannot fail every future read
+            # torn, corrupt or incompatible entry: a miss, and a strike.
+            # A single failure may be a transient fs hiccup (the entry is
+            # left alone — a concurrent writer is about to replace it
+            # anyway); an entry that keeps failing is quarantined so it
+            # stops poisoning the read path but survives for post-mortem.
             with self._lock:
                 self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+                strikes = self._decode_failures.get(str(path), 0) + 1
+                self._decode_failures[str(path)] = strikes
+            if strikes >= self.QUARANTINE_AFTER:
+                try:
+                    path.rename(path.with_suffix(".quarantined"))
+                    with self._lock:
+                        self.quarantined += 1
+                        self._decode_failures.pop(str(path), None)
+                    COUNTERS.bump("cache.quarantined")
+                except OSError:
+                    pass
             return None
         with self._lock:
             self.hits += 1
+            self._decode_failures.pop(str(path), None)
         return payload["value"]
 
     def put(self, namespace: str, token, value) -> None:
@@ -215,13 +261,24 @@ class DiskCache:
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            keep_orphan = False
             try:
                 with os.fdopen(fd, "wb") as fh:
                     pickle.dump({"token": repr(token), "value": value}, fh,
                                 protocol=pickle.HIGHEST_PROTOCOL)
+                try:
+                    maybe_fail("cache.write")
+                except InjectedFault:
+                    # a simulated death between temp-write and rename: the
+                    # orphan ``.tmp`` stays behind exactly as a real crash
+                    # would leave it, for the eviction sweep to reap
+                    keep_orphan = True
+                    return
                 os.replace(tmp, path)
+                with self._lock:
+                    self._decode_failures.pop(str(path), None)
             finally:
-                if os.path.exists(tmp):
+                if not keep_orphan and os.path.exists(tmp):
                     try:
                         os.unlink(tmp)
                     except OSError:
@@ -254,7 +311,30 @@ class DiskCache:
         except OSError:
             return 0.0
 
+    def _sweep_orphans(self, namespace_dir: Path) -> None:
+        """Reap ``.tmp`` files a dead writer left between write and rename.
+
+        Age-gated: a live writer holds its temp file for milliseconds, so
+        anything older than :data:`ORPHAN_TMP_AGE` can only be a corpse.
+        """
+        now = time.time()
+        try:
+            orphans = [p for p in namespace_dir.iterdir() if p.suffix == ".tmp"]
+        except OSError:
+            return
+        for path in orphans:
+            if now - self._mtime_or_zero(path) < self.ORPHAN_TMP_AGE:
+                continue
+            try:
+                path.unlink()
+                with self._lock:
+                    self.orphans_removed += 1
+                COUNTERS.bump("cache.orphans_removed")
+            except OSError:
+                pass
+
     def _evict(self, namespace_dir: Path) -> None:
+        self._sweep_orphans(namespace_dir)
         try:
             entries = sorted(
                 (p for p in namespace_dir.iterdir() if p.suffix == ".pkl"),
@@ -283,6 +363,14 @@ class DiskCache:
                 removed += 1
             except OSError:
                 pass
+        # debris never counts toward `removed` (quarantined evidence,
+        # orphaned temp files) but a clear leaves nothing behind
+        for pattern in ("*.quarantined", "*.tmp"):
+            for path in sorted(self.root.rglob(pattern), reverse=True):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
         for directory in sorted(self.root.rglob("*"), reverse=True):
             if directory.is_dir():
                 try:
@@ -317,16 +405,23 @@ class DiskCache:
                 if not ns_dir.is_dir():
                     continue
                 try:
-                    files = [p for p in ns_dir.iterdir() if p.suffix == ".pkl"]
+                    listing = list(ns_dir.iterdir())
                 except OSError:
                     # the whole namespace vanished mid-scan (clear())
                     continue
+                files = [p for p in listing if p.suffix == ".pkl"]
                 namespaces[ns_dir.name] = {
                     "entries": len(files),
                     "bytes": sum(self._size_or_zero(p) for p in files),
+                    "quarantined": sum(
+                        1 for p in listing if p.suffix == ".quarantined"),
+                    "orphan_tmp": sum(
+                        1 for p in listing if p.suffix == ".tmp"),
                 }
         with self._lock:
             hits, misses, evictions = self.hits, self.misses, self.evictions
+            quarantined = self.quarantined
+            orphans_removed = self.orphans_removed
         return {
             "root": str(self.root),
             "schema_version": SCHEMA_VERSION,
@@ -335,6 +430,8 @@ class DiskCache:
             "hits": hits,
             "misses": misses,
             "evictions": evictions,
+            "quarantined": quarantined,
+            "orphans_removed": orphans_removed,
         }
 
 

@@ -570,9 +570,9 @@ class DenseBackend:
                 groups[(di, fi, pi)] = cached
 
     # -- the generic backend protocol ---------------------------------
-    def run(self, jobs) -> list[CostReport]:
+    def run(self, jobs, deadline=None) -> list[CostReport]:
         """Scalar fallback: cost a per-point job batch serially."""
-        return self._serial.run(jobs)
+        return self._serial.run(jobs, deadline=deadline)
 
     def collect_stats(self) -> dict:
         """Dense counters merged with the per-session pipeline statistics.

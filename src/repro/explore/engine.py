@@ -17,6 +17,15 @@ scale: a :class:`DesignSpace` of thousands of points is lowered into
     sha256, not from salted ``hash()``), so the reports are identical to
     the serial backend's, byte for byte, modulo wall-clock timing.
 
+Both backends are fault tolerant.  The pool backend survives worker
+death (``BrokenProcessPool``): completed batches keep their results,
+failed batches are requeued to a respawned pool under the backend's
+:class:`~repro.resilience.RetryPolicy`, and — because every batch is a
+deterministic function of its payload — the final report is
+byte-identical to a fault-free run.  The serial backend retries
+transient per-job failures in place.  Both honour an optional
+:class:`~repro.resilience.Deadline` between design points.
+
 Results come back as a :class:`SweepResult`: reports in deterministic
 sweep order plus the selection helpers exploration strategies build on
 (best-feasible, Pareto frontier, summary tables, variants/second).
@@ -27,7 +36,8 @@ from __future__ import annotations
 import os
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -36,8 +46,22 @@ from repro.compiler.pipeline import (
     EstimationPipeline,
     adopt_shared_calibration,
 )
+from repro.cost.cache import env_int
 from repro.cost.report import CostReport
 from repro.explore.space import CostJob, DesignPoint, DesignSpace, build_jobs
+from repro.resilience import (
+    COUNTERS,
+    Deadline,
+    RetryBudgetExceededError,
+    RetryPolicy,
+    is_transient,
+    maybe_fail,
+    register_transient,
+)
+
+# a dead pool is the canonical transient failure: the work is fine, the
+# substrate died under it
+register_transient(BrokenProcessPool)
 
 __all__ = [
     "SerialBackend",
@@ -137,20 +161,38 @@ class SerialBackend:
                 pipeline = self._pipelines[key] = EstimationPipeline(job.resolved_options())
             return pipeline
 
+    #: per-job retry budget for transient failures (injected faults, a
+    #: flaky cache substrate); real estimation errors are deterministic
+    #: and classified permanent, so they propagate on the first attempt
+    retry_policy: RetryPolicy = RetryPolicy(max_attempts=4, base_delay=0.01,
+                                            max_delay=0.25)
+
     def run(
         self,
         jobs: Sequence[CostJob],
         progress: Callable[[int, CostReport], None] | None = None,
+        deadline: Deadline | None = None,
     ) -> list[CostReport]:
         """Cost ``jobs`` in order; ``progress(index, report)`` fires per point.
 
         The callback is what lets a long-lived consumer (the exploration
         service) stream results while the batch is still running.
+        ``deadline`` is checked between points (and before each retry);
+        transient per-job failures retry under :attr:`retry_policy`.
         """
         reports = []
         for index, job in enumerate(jobs):
+            if deadline is not None:
+                deadline.check(f"design point {index}/{len(jobs)}")
             pipeline = self.pipeline_for(job)
-            report = pipeline.cost(job.module, job.workload, job.point.pattern)
+
+            def _cost(attempt: int, job=job, pipeline=pipeline):
+                maybe_fail("worker", salt=attempt)
+                return pipeline.cost(job.module, job.workload, job.point.pattern)
+
+            report = self.retry_policy.call(
+                _cost, key=f"serial:{index}", what=f"costing {job.point.label}",
+                deadline=deadline)
             reports.append(report)
             if progress is not None:
                 progress(index, report)
@@ -180,7 +222,13 @@ def _evaluate_batch(payload) -> tuple[list[tuple[int, CostReport]], dict]:
     otherwise.  The worker ships its cache statistics back alongside the
     reports so the parent can aggregate a sweep-wide picture.
     """
-    options, batch, shared_default = payload
+    options, batch, shared_default, *rest = payload
+    epoch = rest[0] if rest else 0
+    # the fault-injection site for "this worker invocation dies": salted
+    # with the requeue epoch so a respawned pool (whose fresh processes
+    # restart the plan's call counters) draws a *different* schedule and
+    # the retry loop converges instead of crashing identically forever
+    maybe_fail("worker", salt=epoch)
     if shared_default:
         # the shipped models came from the shared default calibration:
         # seed this worker's process-wide caches so they are recognised
@@ -203,11 +251,24 @@ class ProcessPoolBackend:
     the process) already paid for.  Groups are split into
     ``batches_per_worker`` chunks to keep all workers busy; report order
     matches the input job order exactly.
+
+    Worker death does not abort the sweep.  When a batch fails
+    transiently — the pool broke under it, or a worker raised an
+    injected/transient fault — its results are discarded, every batch
+    that *did* complete keeps its reports, and the failed batches are
+    requeued (to a freshly spawned pool if the old one broke) until they
+    complete or ``retry_policy`` runs out of attempts.  Each batch is a
+    deterministic function of its payload, so a report computed on the
+    third attempt is byte-identical to one computed on the first.
     """
 
-    def __init__(self, max_workers: int | None = None, batches_per_worker: int = 2):
+    def __init__(self, max_workers: int | None = None, batches_per_worker: int = 2,
+                 retry_policy: RetryPolicy | None = None):
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
         self.batches_per_worker = max(1, batches_per_worker)
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=env_int("TYBEC_POOL_ATTEMPTS", 8),
+            base_delay=0.02, max_delay=0.5)
         self._last_stats: dict = {}
 
     def _payloads(self, jobs: Sequence[CostJob]) -> list[tuple]:
@@ -232,19 +293,80 @@ class ProcessPoolBackend:
                                  shared_default))
         return payloads
 
-    def run(self, jobs: Sequence[CostJob]) -> list[CostReport]:
+    def run(self, jobs: Sequence[CostJob],
+            deadline: Deadline | None = None) -> list[CostReport]:
         if not jobs:
             self._last_stats = {}
             return []
         payloads = self._payloads(jobs)
         reports: list[CostReport | None] = [None] * len(jobs)
         worker_stats: list[dict] = []
-        with ProcessPoolExecutor(max_workers=self.max_workers) as executor:
-            for batch_results, stats in executor.map(_evaluate_batch, payloads):
-                worker_stats.append(stats)
-                for index, report in batch_results:
-                    reports[index] = report
+        resilience = {"attempts": 0, "requeued_batches": 0, "pool_respawns": 0}
+
+        pending = list(range(len(payloads)))
+        policy = self.retry_policy
+        last_error: BaseException | None = None
+        for epoch in policy.attempts():
+            resilience["attempts"] = epoch + 1
+            if epoch > 0:
+                resilience["pool_respawns"] += 1
+                COUNTERS.bump("pool.respawns")
+            failed: list[int] = []
+            executor = ProcessPoolExecutor(max_workers=self.max_workers)
+            try:
+                futures = {
+                    executor.submit(_evaluate_batch, (*payloads[i], epoch)): i
+                    for i in pending
+                }
+                remaining = set(futures)
+                while remaining:
+                    if deadline is not None and deadline.expired:
+                        deadline.check("pool sweep")
+                    done, remaining = wait(
+                        remaining, timeout=None if deadline is None
+                        else max(0.05, min(1.0, deadline.remaining())),
+                        return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = futures[future]
+                        try:
+                            batch_results, stats = future.result()
+                        except BaseException as exc:  # noqa: BLE001
+                            if not is_transient(exc):
+                                raise
+                            # the batch is lost but its work is not: the
+                            # payload is requeued verbatim (plus a new
+                            # epoch salt) and recomputes deterministically
+                            failed.append(index)
+                            last_error = exc
+                            continue
+                        worker_stats.append(stats)
+                        for job_index, report in batch_results:
+                            reports[job_index] = report
+            finally:
+                # a broken pool cannot be reused; tearing it down is what
+                # lets the next epoch spawn a healthy one
+                executor.shutdown(wait=False, cancel_futures=True)
+            if not failed:
+                pending = []
+                break
+            COUNTERS.bump("pool.requeued_batches", len(failed))
+            resilience["requeued_batches"] += len(failed)
+            pending = sorted(failed)
+            if epoch == policy.max_attempts - 1:
+                break
+            pause = policy.delay(epoch, key="pool")
+            if deadline is not None:
+                deadline.check("pool sweep")
+                pause = min(pause, deadline.remaining())
+            if pause > 0:
+                time.sleep(pause)
+        if pending:
+            assert last_error is not None
+            raise RetryBudgetExceededError(
+                f"pool sweep ({len(pending)} batch(es) of {len(payloads)})",
+                policy.max_attempts, last_error) from last_error
         self._last_stats = merge_stats(worker_stats)
+        self._last_stats["resilience"] = resilience
         return reports  # type: ignore[return-value]
 
     def collect_stats(self) -> dict:
@@ -399,11 +521,16 @@ class ExplorationEngine:
     def __init__(self, backend: SerialBackend | ProcessPoolBackend | None = None):
         self.backend = backend or SerialBackend()
 
-    def cost_many(self, jobs: Sequence[CostJob]) -> SweepResult:
-        """Cost a batch of jobs; reports keep the job order."""
+    def cost_many(self, jobs: Sequence[CostJob],
+                  deadline: Deadline | None = None) -> SweepResult:
+        """Cost a batch of jobs; reports keep the job order.
+
+        ``deadline`` propagates into the backend, which checks it between
+        design points (serial) or batch completions (pool).
+        """
         jobs = list(jobs)
         started = time.perf_counter()
-        reports = self.backend.run(jobs)
+        reports = self.backend.run(jobs, deadline=deadline)
         wall = time.perf_counter() - started
         entries = [SweepEntry(job.point, report) for job, report in zip(jobs, reports)]
         collect = getattr(self.backend, "collect_stats", None)

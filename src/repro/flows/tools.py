@@ -11,10 +11,21 @@ from __future__ import annotations
 
 import shutil
 import subprocess
+import time
 from dataclasses import dataclass
+
+from repro.cost.cache import env_int
+from repro.resilience import (
+    COUNTERS,
+    Deadline,
+    RetryPolicy,
+    TransientError,
+    maybe_fail,
+)
 
 __all__ = [
     "ToolUnavailableError",
+    "ToolCrashError",
     "ToolResult",
     "find_tool",
     "require_tool",
@@ -36,16 +47,44 @@ class ToolUnavailableError(RuntimeError):
         self.tool = tool
 
 
+class ToolCrashError(TransientError):
+    """The tool subprocess could not be launched or died on the OS side.
+
+    Transient: launch failures and kills are substrate trouble (fork
+    pressure, OOM reaper), the kind a bounded retry can outlive.
+    """
+
+
 @dataclass(frozen=True)
 class ToolResult:
     argv: tuple
     returncode: int
     stdout: str
     stderr: str
+    #: the invocation hit its (deadline-clipped) timeout and was killed
+    timed_out: bool = False
+    #: non-exit-code failure description ("" when the tool actually ran)
+    error: str = ""
+    elapsed_seconds: float = 0.0
+    #: invocations it took to produce this result (1 = first try)
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
-        return self.returncode == 0
+        return self.returncode == 0 and not self.timed_out and not self.error
+
+    @property
+    def failure_summary(self) -> str:
+        """One line describing why the invocation failed ("" when ok)."""
+        if self.ok:
+            return ""
+        name = self.argv[0] if self.argv else "tool"
+        if self.timed_out:
+            return (f"{name} timed out after {self.elapsed_seconds:.1f}s "
+                    f"({self.attempts} attempt(s))")
+        if self.error:
+            return f"{name} failed to run: {self.error}"
+        return f"{name} exited with status {self.returncode}"
 
 
 def find_tool(name: str) -> str | None:
@@ -60,14 +99,85 @@ def require_tool(name: str) -> str:
     return path
 
 
-def run_tool(argv: list[str], cwd=None, timeout: float = 300.0) -> ToolResult:
-    """Run one external tool invocation, capturing its output."""
-    completed = subprocess.run(
-        argv, cwd=cwd, timeout=timeout, capture_output=True, text=True,
-        check=False,
-    )
-    return ToolResult(tuple(argv), completed.returncode,
-                      completed.stdout, completed.stderr)
+#: default invocation budget for one external tool run
+DEFAULT_TOOL_POLICY = RetryPolicy(
+    max_attempts=env_int("TYBEC_TOOL_ATTEMPTS", 2),
+    base_delay=0.05, max_delay=1.0)
+
+
+def _decode(raw) -> str:
+    """Partial output capture: TimeoutExpired hands back bytes or None."""
+    if raw is None:
+        return ""
+    if isinstance(raw, bytes):
+        return raw.decode("utf-8", errors="replace")
+    return raw
+
+
+def run_tool(argv: list[str], cwd=None, timeout: float = 300.0,
+             deadline: Deadline | None = None,
+             retry_policy: RetryPolicy | None = None) -> ToolResult:
+    """Run one external tool invocation, capturing its output.
+
+    Never lets ``subprocess`` trouble escape: a hung tool is killed at
+    the (deadline-clipped) timeout and reported as a typed failure with
+    whatever partial stdout/stderr it produced; a launch failure or an
+    injected crash becomes ``error``.  Crash-shaped failures are retried
+    per ``retry_policy``; timeouts and non-zero exits are not retried
+    here — a deterministic tool that timed out once will time out again,
+    and exit codes are the caller's domain knowledge.
+    """
+    argv_t = tuple(argv)
+    policy = retry_policy or DEFAULT_TOOL_POLICY
+    effective = timeout if deadline is None else deadline.clip(timeout)
+    last: ToolResult | None = None
+    for attempt in policy.attempts():
+        if deadline is not None and deadline.expired:
+            break
+        started = time.perf_counter()
+        try:
+            maybe_fail("tool", salt=attempt)
+            completed = subprocess.run(
+                argv, cwd=cwd, timeout=effective, capture_output=True,
+                text=True, check=False,
+            )
+            return ToolResult(
+                argv_t, completed.returncode, completed.stdout,
+                completed.stderr,
+                elapsed_seconds=time.perf_counter() - started,
+                attempts=attempt + 1,
+            )
+        except subprocess.TimeoutExpired as exc:
+            return ToolResult(
+                argv_t, returncode=-1,
+                stdout=_decode(exc.stdout), stderr=_decode(exc.stderr),
+                timed_out=True,
+                error=f"timed out after {effective:.1f}s",
+                elapsed_seconds=time.perf_counter() - started,
+                attempts=attempt + 1,
+            )
+        except (TransientError, OSError) as exc:
+            last = ToolResult(
+                argv_t, returncode=-1, stdout="", stderr="",
+                error=f"{type(exc).__name__}: {exc}",
+                elapsed_seconds=time.perf_counter() - started,
+                attempts=attempt + 1,
+            )
+            if attempt < policy.max_attempts - 1:
+                COUNTERS.bump("retries")
+                COUNTERS.bump("retries.tool")
+                pause = policy.delay(attempt, key=f"tool:{argv_t[0] if argv_t else ''}")
+                if deadline is not None:
+                    pause = min(pause, deadline.remaining())
+                if pause > 0:
+                    time.sleep(pause)
+    if last is None:
+        last = ToolResult(
+            argv_t, returncode=-1, stdout="", stderr="",
+            error="deadline expired before the tool could run",
+            timed_out=True, attempts=0,
+        )
+    return last
 
 
 def available_tools() -> dict[str, str | None]:

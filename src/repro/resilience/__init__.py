@@ -1,0 +1,49 @@
+"""The fault-tolerant execution layer.
+
+Retry policies with deterministic backoff, deadlines propagated through
+the hot paths, and a seeded fault-injection harness — the substrate the
+engine, flows, cache and service lean on to survive worker death, hung
+tools and dying leaders without ever changing a report byte.
+"""
+
+from repro.resilience.faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    current_fault_plan,
+    maybe_fail,
+)
+from repro.resilience.policy import (
+    COUNTERS,
+    Deadline,
+    DeadlineExceededError,
+    PermanentError,
+    ResilienceCounters,
+    RetryBudgetExceededError,
+    RetryPolicy,
+    TransientError,
+    is_transient,
+    register_transient,
+    seeded_unit,
+)
+
+__all__ = [
+    "COUNTERS",
+    "Deadline",
+    "DeadlineExceededError",
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "PermanentError",
+    "ResilienceCounters",
+    "RetryBudgetExceededError",
+    "RetryPolicy",
+    "TransientError",
+    "current_fault_plan",
+    "is_transient",
+    "maybe_fail",
+    "register_transient",
+    "seeded_unit",
+]

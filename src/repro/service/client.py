@@ -19,9 +19,17 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from repro.resilience import RetryBudgetExceededError, RetryPolicy
 from repro.service.server import DEFAULT_PORT
 
 __all__ = ["ServiceClient", "ServiceError", "ServiceResponse"]
+
+#: connect-level retry budget: refused/reset connections (a daemon
+#: restarting, a listen backlog burst) are retried with backoff; anything
+#: the server actually *answered* is not — replaying an answered request
+#: is the coalescer's job, not the transport's
+DEFAULT_CONNECT_POLICY = RetryPolicy(max_attempts=3, base_delay=0.1,
+                                     max_delay=1.0)
 
 
 class ServiceError(RuntimeError):
@@ -51,19 +59,36 @@ class ServiceClient:
     """Talk to a running exploration service."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
-                 timeout: float = 300.0):
+                 timeout: float = 300.0,
+                 retry_policy: RetryPolicy | None = None):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry_policy = retry_policy or DEFAULT_CONNECT_POLICY
 
     # ------------------------------------------------------------------
     def _request(self, method: str, path: str, body: dict | None = None):
-        conn = http.client.HTTPConnection(self.host, self.port,
-                                          timeout=self.timeout)
         payload = None if body is None else json.dumps(body)
         headers = {"Content-Type": "application/json"} if payload else {}
-        conn.request(method, path, body=payload, headers=headers)
-        return conn, conn.getresponse()
+
+        def _attempt(attempt: int):
+            conn = http.client.HTTPConnection(self.host, self.port,
+                                              timeout=self.timeout)
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                return conn, conn.getresponse()
+            except ConnectionError:
+                conn.close()
+                raise
+
+        try:
+            return self.retry_policy.call(
+                _attempt, key="client.connect", what=f"{method} {path}",
+                classify=lambda exc: isinstance(exc, ConnectionError))
+        except RetryBudgetExceededError as exc:
+            # callers (and the CLI) handle ConnectionError; the exhausted
+            # budget re-raises the underlying refusal, not the wrapper
+            raise exc.last from exc
 
     def _json(self, method: str, path: str, body: dict | None = None) -> dict:
         conn, response = self._request(method, path, body)

@@ -26,6 +26,14 @@ Two layers make that hold regardless of how the requests interleave:
 Failures are never cached — a leader that raises poisons only the
 clients already attached; the next request for the same key becomes a
 fresh leader and retries.
+
+A *transient* leader failure need not poison anyone: ``abandon(...,
+promote=True)`` marks the leadership lost instead of the task dead, and
+a waiting follower claims it and recomputes.  The computation is
+deterministic, so the promoted leader's republished events are
+byte-identical to the originals — :meth:`CoalescedTask.publish` skips
+the already-published prefix and every client's stream continues
+seamlessly from wherever the dead leader stopped.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ import threading
 from typing import Iterator
 
 from repro.cost.cache import BoundedCache
+from repro.resilience import COUNTERS
 
 __all__ = ["CoalescedTask", "RequestCoalescer", "TaskFailedError"]
 
@@ -45,12 +54,22 @@ class TaskFailedError(RuntimeError):
 class CoalescedTask:
     """One underlying computation, streamed to every attached client."""
 
+    #: leadership claims (original leader included) before a task gives
+    #: up and fails for real — the retry budget for "the leader died"
+    MAX_LEADER_CLAIMS = 3
+
     def __init__(self, key: str):
         self.key = key
         self._cond = threading.Condition()
         self._events: list[dict] = []
         self._done = False
         self._error: str | None = None
+        #: the leadership is up for grabs (the leader failed transiently)
+        self._leader_lost = False
+        #: republished-event prefix a promoted leader must skip
+        self._skip = 0
+        #: leadership claims consumed so far (the original lease is #1)
+        self.claims = 1
         #: the final report event (set by :meth:`finish`)
         self.result: dict | None = None
         #: clients that attached instead of computing (leader excluded)
@@ -59,11 +78,21 @@ class CoalescedTask:
     # ------------------------------------------------------------------
     # leader side
     # ------------------------------------------------------------------
-    def publish(self, event: dict) -> None:
-        """Append one progress event and wake every streaming follower."""
+    def publish(self, event: dict) -> bool:
+        """Append one progress event and wake every streaming follower.
+
+        Returns whether the event was actually appended: a promoted
+        leader recomputes from scratch, and the deterministic prefix it
+        regenerates — events the dead leader already published — is
+        skipped, so no client ever sees a duplicate.
+        """
         with self._cond:
+            if self._skip > 0:
+                self._skip -= 1
+                return False
             self._events.append(event)
             self._cond.notify_all()
+        return True
 
     def finish(self, result: dict) -> None:
         """Mark the computation complete with its final payload."""
@@ -77,7 +106,45 @@ class CoalescedTask:
         with self._cond:
             self._error = str(error)
             self._done = True
+            self._leader_lost = False
             self._cond.notify_all()
+
+    def leader_failed(self, error: BaseException | str) -> bool:
+        """The leader died transiently; offer the leadership to a waiter.
+
+        Returns True when the leadership is up for promotion, False when
+        the claim budget is spent — the task then fails for real and
+        every attached client gets the error.
+        """
+        with self._cond:
+            if self._done:
+                return False
+            if self.claims >= self.MAX_LEADER_CLAIMS:
+                self._error = str(error)
+                self._done = True
+                self._leader_lost = False
+                self._cond.notify_all()
+                return False
+            self._error = str(error)   # provisional; cleared on promotion
+            self._leader_lost = True
+            self._cond.notify_all()
+            return True
+
+    def claim_leadership(self) -> bool:
+        """Atomically take over a lost leadership (first claimant wins).
+
+        The winner must recompute and publish; the deterministic prefix
+        the dead leader already landed is deduplicated by
+        :meth:`publish`.
+        """
+        with self._cond:
+            if self._done or not self._leader_lost:
+                return False
+            self._leader_lost = False
+            self._error = None
+            self.claims += 1
+            self._skip = len(self._events)
+            return True
 
     # ------------------------------------------------------------------
     # follower side
@@ -86,6 +153,33 @@ class CoalescedTask:
     def done(self) -> bool:
         with self._cond:
             return self._done
+
+    @property
+    def error_message(self) -> str | None:
+        with self._cond:
+            return self._error
+
+    def next_events(self, cursor: int) -> tuple[list[dict], str]:
+        """Block for progress past ``cursor``; return it plus the state.
+
+        States: ``running`` (events follow, more may come), ``done``
+        (stream complete, ``result`` is set), ``failed`` (stream
+        complete, ``error_message`` is set) and ``leader_lost`` (the
+        leader died transiently — the caller may :meth:`claim_leadership`
+        and recompute, or loop to wait for whoever does).  Pending events
+        always drain before ``leader_lost`` is reported, so a successful
+        claimant's cursor equals the published-event count.
+        """
+        with self._cond:
+            while (cursor >= len(self._events) and not self._done
+                   and not self._leader_lost):
+                self._cond.wait()
+            batch = self._events[cursor:]
+            if batch:
+                return batch, "running"
+            if self._done:
+                return [], "failed" if self._error is not None else "done"
+            return [], "leader_lost"
 
     def stream(self) -> Iterator[dict]:
         """Yield every progress event, blocking until the task finishes.
@@ -133,6 +227,8 @@ class RequestCoalescer:
         self.joined = 0
         #: cumulative requests served from the completed-results cache
         self.replayed = 0
+        #: cumulative leaderships lost to a transient leader failure
+        self.leaders_lost = 0
 
     def lease(self, key: str) -> tuple[CoalescedTask, str]:
         """The task for ``key`` plus this caller's role.
@@ -167,11 +263,24 @@ class RequestCoalescer:
             self._results.put(task.key, task)
             self._inflight.pop(task.key, None)
 
-    def abandon(self, task: CoalescedTask, error: BaseException | str) -> None:
-        """Fail the task; the key becomes leasable again (no caching)."""
+    def abandon(self, task: CoalescedTask, error: BaseException | str,
+                promote: bool = False) -> bool:
+        """Fail the task; the key becomes leasable again (no caching).
+
+        With ``promote=True`` (a *transient* leader failure) the task is
+        kept in flight and its leadership offered to a waiting client
+        instead — followers are never stranded by a dead leader while
+        the claim budget lasts.  Returns whether a promotion is pending.
+        """
+        if promote and task.leader_failed(error):
+            with self._lock:
+                self.leaders_lost += 1
+            COUNTERS.bump("service.leaders_lost")
+            return True
         task.fail(error)
         with self._lock:
             self._inflight.pop(task.key, None)
+        return False
 
     # ------------------------------------------------------------------
     def in_flight(self) -> int:
@@ -185,5 +294,6 @@ class RequestCoalescer:
                 "in_flight": len(self._inflight),
                 "joined": self.joined,
                 "replayed": self.replayed,
+                "leaders_lost": self.leaders_lost,
                 "results_cache": self._results.info(),
             }

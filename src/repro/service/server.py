@@ -57,7 +57,15 @@ from repro.explore.engine import (
     merge_stats,
 )
 from repro.models import KernelInstance, NDRange, PatternKind
-from repro.service.coalesce import CoalescedTask, RequestCoalescer, TaskFailedError
+from repro.resilience import (
+    COUNTERS,
+    Deadline,
+    RetryPolicy,
+    current_fault_plan,
+    is_transient,
+    maybe_fail,
+)
+from repro.service.coalesce import CoalescedTask, RequestCoalescer
 from repro.substrate import get_device
 from repro.suite.report import canonical_json, canonical_json_line
 from repro.suite.runner import SuiteConfig, WorkloadSuite, build_suite_report
@@ -129,8 +137,16 @@ class ExplorationService:
     """The shared warm state plus the request coalescer behind the HTTP
     front end (usable directly, without any socket, for tests)."""
 
-    def __init__(self, max_concurrency: int = 4, results_capacity: int = 64):
+    #: backoff schedule between leadership claims on the same task, so a
+    #: repeatedly-failing sweep does not hot-spin through its claim budget
+    leader_retry_policy = RetryPolicy(max_attempts=CoalescedTask.MAX_LEADER_CLAIMS,
+                                      base_delay=0.02, max_delay=0.5)
+
+    def __init__(self, max_concurrency: int = 4, results_capacity: int = 64,
+                 default_deadline_seconds: float | None = None):
         self.max_concurrency = max(1, max_concurrency)
+        #: per-request compute budget when the body names none
+        self.default_deadline_seconds = default_deadline_seconds
         self._backend = SerialBackend()
         self._dense = DenseBackend()
         self.coalescer = RequestCoalescer(results_capacity=results_capacity)
@@ -183,10 +199,15 @@ class ExplorationService:
         cache = default_disk_cache()
         if cache is not None:
             disk = cache.stats()
+        plan = current_fault_plan()
         return {
             "uptime_seconds": time.time() - self.started,
             "requests": requests,
             "sweeps": sweeps,
+            "resilience": {
+                "counters": COUNTERS.snapshot(),
+                "fault_plan": None if plan is None else plan.stats(),
+            },
             "queue": {
                 "depth": queued,
                 "active": active,
@@ -217,6 +238,11 @@ class ExplorationService:
         if not isinstance(spec, dict) or "design" not in spec:
             raise BadRequestError("body must be a JSON object with a 'design' "
                                   "field holding the .tirl text")
+        spec = dict(spec)
+        # popped before fingerprinting: the same work coalesces whatever
+        # budgets the individual clients brought (budgets cannot change
+        # report bytes, so sharing the computation stays sound)
+        deadline_seconds = spec.pop("deadline_seconds", None)
         device = str(spec.get("device", "stratix-v"))
         grid = tuple(int(d) for d in spec.get("grid", (24, 24, 24)))
         iterations = int(spec.get("iterations", 1000))
@@ -245,12 +271,23 @@ class ExplorationService:
             "workload": KernelInstance(kernel=module.name, ndrange=NDRange(grid),
                                        repetitions=iterations),
             "pattern": pattern_kind,
+            "deadline_seconds": deadline_seconds,
         }
         return task, role, request
 
+    def _deadline_for(self, request: dict) -> Deadline:
+        """A fresh per-attempt budget (a promoted leader starts over)."""
+        seconds = request.get("deadline_seconds")
+        if seconds is None:
+            seconds = self.default_deadline_seconds
+        return Deadline(float(seconds)) if seconds else Deadline.none()
+
     def run_cost(self, request: dict) -> dict:
         """Leader path of one ``/cost`` request: cost the variant."""
+        deadline = self._deadline_for(request)
         with self._slot():
+            deadline.check("cost request queued too long")
+            maybe_fail("service.handler")
             pipeline = self._pipeline_for_device(request["device"])
             report = pipeline.cost(request["module"], request["workload"],
                                    request["pattern"])
@@ -269,10 +306,13 @@ class ExplorationService:
             raise BadRequestError("body must be a JSON object")
         spec = dict(spec)
         dense = bool(spec.pop("dense", False))
+        # popped before fingerprinting — see :meth:`lease_cost`
+        deadline_seconds = spec.pop("deadline_seconds", None)
         config = suite_config_from_spec(spec)
         key = _fingerprint("suite", {"config": config.as_dict(), "dense": dense})
         task, role = self.coalescer.lease(key)
-        return task, role, {"config": config, "dense": dense}
+        return task, role, {"config": config, "dense": dense,
+                            "deadline_seconds": deadline_seconds}
 
     def run_suite(self, request: dict, publish) -> dict:
         """Leader path of one ``/suite`` request.
@@ -286,12 +326,15 @@ class ExplorationService:
         """
         config: SuiteConfig = request["config"]
         backend = self._dense if request["dense"] else self._backend
+        deadline = self._deadline_for(request)
         with self._slot():
+            deadline.check("suite request queued too long")
+            maybe_fail("service.handler")
             with self._lock:
                 self.sweeps["started"] += 1
             suite = WorkloadSuite(config, backend=backend)
             if request["dense"]:
-                spaces, sweep = suite.sweep()
+                spaces, sweep = suite.sweep(deadline=deadline)
                 for index, entry in enumerate(sweep.entries):
                     publish(self._entry_event(index, entry))
             else:
@@ -308,7 +351,8 @@ class ExplorationService:
                     publish(self._entry_event(
                         index, SweepEntry(jobs[index].point, report)))
 
-                reports = self._backend.run(jobs, progress=_progress)
+                reports = self._backend.run(jobs, progress=_progress,
+                                            deadline=deadline)
                 sweep = SweepResult(
                     entries=[SweepEntry(job.point, report)
                              for job, report in zip(jobs, reports)],
@@ -402,16 +446,22 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        if self.path == "/healthz":
-            self._send_json({"ok": True, "service": "tybec-exploration"})
-        elif self.path == "/metrics":
-            self.service.count_request("metrics")
-            self._send_json(self.service.metrics())
-        else:
-            self.service.count_request("errors")
-            self._send_json({"error": f"no such endpoint {self.path!r}"}, 404)
+        with self.server.track_request():  # type: ignore[attr-defined]
+            if self.path == "/healthz":
+                self._send_json({"ok": True, "service": "tybec-exploration"})
+            elif self.path == "/metrics":
+                self.service.count_request("metrics")
+                self._send_json(self.service.metrics())
+            else:
+                self.service.count_request("errors")
+                self._send_json({"error": f"no such endpoint {self.path!r}"},
+                                404)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        with self.server.track_request():  # type: ignore[attr-defined]
+            self._do_post()
+
+    def _do_post(self) -> None:
         try:
             spec = self._read_body()
             if self.path == "/suite":
@@ -434,30 +484,65 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                             "role": role})
         runner = (self.service.run_suite if self.path == "/suite"
                   else lambda req, publish: self.service.run_cost(req))
-        if role == "leader":
-            def _publish(event: dict) -> None:
-                task.publish(event)
-                self._stream_event(event)
-
-            try:
-                result = runner(request, _publish)
-            except Exception as exc:  # noqa: BLE001 - reported to clients
-                self.service.coalescer.abandon(task, exc)
-                self.service.count_request("errors")
-                self._stream_event({"event": "error", "message": str(exc)})
-                self._end_stream()
-                return
-            self.service.coalescer.complete(task, result)
-            self._stream_event(result)
-        else:
-            try:
-                for event in task.stream():
-                    self._stream_event(event)
-                self._stream_event(task.wait())
-            except TaskFailedError as exc:
-                self.service.count_request("errors")
-                self._stream_event({"event": "error", "message": str(exc)})
+        self._drive(task, role, request, runner)
         self._end_stream()
+
+    def _drive(self, task: CoalescedTask, role: str, request: dict,
+               runner) -> None:
+        """Drive one leased task to completion on this connection.
+
+        One loop covers every role and every role *transition*: a leader
+        that fails transiently is demoted to a waiter (its leadership up
+        for grabs, so followers are never stranded by a dead leader), a
+        waiter that sees the leadership lost claims it and recomputes.
+        ``task.publish`` deduplicates the deterministic prefix a promoted
+        leader regenerates, so ``cursor`` — events already sent to *this*
+        client — stays aligned with the task's event log throughout.
+        """
+        service = self.service
+        cursor = 0
+        while True:
+            if role == "leader":
+                def _publish(event: dict) -> None:
+                    nonlocal cursor
+                    if task.publish(event):
+                        self._stream_event(event)
+                        cursor += 1
+
+                try:
+                    result = runner(request, _publish)
+                except Exception as exc:  # noqa: BLE001 - reported to clients
+                    if service.coalescer.abandon(task, exc,
+                                                 promote=is_transient(exc)):
+                        role = "waiter"   # demoted; may re-claim below
+                        continue
+                    service.count_request("errors")
+                    self._stream_event({"event": "error", "message": str(exc)})
+                    return
+                service.coalescer.complete(task, result)
+                self._stream_event(result)
+                return
+            # follower (or demoted ex-leader): stream the task's events
+            batch, state = task.next_events(cursor)
+            cursor += len(batch)
+            for event in batch:
+                self._stream_event(event)
+            if state == "done":
+                self._stream_event(task.result)
+                return
+            if state == "failed":
+                service.count_request("errors")
+                self._stream_event({"event": "error",
+                                    "message": task.error_message
+                                    or "service error"})
+                return
+            if state == "leader_lost" and task.claim_leadership():
+                COUNTERS.bump("service.leaders_promoted")
+                # pause before recomputing so a sweep that keeps dying
+                # burns wall-clock, not its whole claim budget, at once
+                time.sleep(service.leader_retry_policy.delay(
+                    task.claims - 1, key=task.key))
+                role = "leader"
 
 
 class ServiceServer(ThreadingHTTPServer):
@@ -475,15 +560,67 @@ class ServiceServer(ThreadingHTTPServer):
         super().__init__(address, _ServiceHandler)
         self.service = service or ExplorationService()
         self.verbose = verbose
+        self._inflight = 0
+        self._idle = threading.Condition()
 
     @property
     def port(self) -> int:
         return self.server_address[1]
 
+    # -- graceful shutdown ---------------------------------------------
+    @contextmanager
+    def track_request(self):
+        """Count one in-flight request for the drain barrier."""
+        with self._idle:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.notify_all()
+
+    def inflight_requests(self) -> int:
+        with self._idle:
+            return self._inflight
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every in-flight request finishes (or ``timeout``).
+
+        Returns whether the server actually drained.  Call after
+        :meth:`shutdown` — draining does not stop new connections by
+        itself.
+        """
+        deadline = Deadline(timeout) if timeout else Deadline.none()
+        with self._idle:
+            while self._inflight > 0:
+                remaining = deadline.remaining()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(None if remaining == float("inf")
+                                else remaining)
+            return True
+
+    def shutdown_gracefully(self, timeout: float | None = 30.0) -> bool:
+        """Stop accepting, drain in-flight requests, close the socket.
+
+        The contract a SIGTERM'd ``tybec serve`` honours: streams already
+        being served run to completion (drained, not dropped); only then
+        does the process exit.  Returns whether the drain completed
+        within ``timeout``.
+        """
+        self.shutdown()                 # stop the accept loop
+        drained = self.drain(timeout)
+        self.server_close()
+        return drained
+
 
 def serve(host: str = "127.0.0.1", port: int = DEFAULT_PORT,
-          max_concurrency: int = 4, verbose: bool = False) -> ServiceServer:
+          max_concurrency: int = 4, verbose: bool = False,
+          request_deadline: float | None = None) -> ServiceServer:
     """Bind the service (``port=0`` for an ephemeral port); caller runs
     ``serve_forever()`` (or drives it from a background thread)."""
-    service = ExplorationService(max_concurrency=max_concurrency)
+    service = ExplorationService(max_concurrency=max_concurrency,
+                                 default_deadline_seconds=request_deadline)
     return ServiceServer((host, port), service, verbose=verbose)

@@ -234,13 +234,16 @@ class WorkloadSuite:
         return slices
 
     # ------------------------------------------------------------------
-    def sweep(self) -> tuple[dict[str, DesignSpace], SweepResult]:
+    def sweep(self, deadline=None) -> tuple[dict[str, DesignSpace], SweepResult]:
         """Cost every point of every kernel in one engine batch.
 
         A backend with a dense lowering evaluates each kernel's space as
         one broadcast pass (kernels that are not lane-separable fall back
         to the per-point oracle, per space); entry order and report bytes
-        are identical either way.
+        are identical either way.  A ``deadline`` is checked per design
+        point on the per-point path and per kernel space on the dense one
+        (a broadcast pass is a single vectorized evaluation — there is no
+        finer-grained boundary to interrupt it at).
         """
         spaces = self.spaces()
         dense = getattr(self.engine.backend, "explore_space", None)
@@ -251,7 +254,7 @@ class WorkloadSuite:
                     "suite has no design points (no valid lane counts for the "
                     "configured grids?)"
                 )
-            return spaces, self.engine.cost_many(jobs)
+            return spaces, self.engine.cost_many(jobs, deadline=deadline)
 
         from repro.cost.vector import DenseUnsupportedError
 
@@ -261,11 +264,14 @@ class WorkloadSuite:
         for space in spaces.values():
             if len(space) == 0:
                 continue
+            if deadline is not None:
+                deadline.check(f"dense sweep of {space.kernel.name}")
             total += len(space)
             try:
                 result = dense(space).materialize_all()
             except DenseUnsupportedError:
-                result = self.engine.cost_many(build_jobs(space))
+                result = self.engine.cost_many(build_jobs(space),
+                                               deadline=deadline)
             entries.extend(result.entries)
             wall += result.wall_seconds
         if total == 0:

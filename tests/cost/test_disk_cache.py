@@ -53,7 +53,65 @@ class TestDiskCache:
         path = cache._entry_path("ns", "key")
         path.write_bytes(b"definitely not a pickle")
         assert cache.get("ns", "key") is None
-        assert not path.exists()        # corrupt entries are dropped
+        # one torn read could be a transient hiccup — the entry survives
+        assert path.exists()
+
+    def test_repeatedly_corrupt_entries_are_quarantined(self, tmp_path):
+        cache = DiskCache(tmp_path, capacity=8)
+        cache.put("ns", "key", 42)
+        path = cache._entry_path("ns", "key")
+        path.write_bytes(b"definitely not a pickle")
+        for _ in range(DiskCache.QUARANTINE_AFTER):
+            assert cache.get("ns", "key") is None
+        assert not path.exists()
+        quarantined = path.with_suffix(".quarantined")
+        assert quarantined.exists()     # evidence kept, off the read path
+        stats = cache.stats()
+        assert stats["quarantined"] == 1
+        assert stats["namespaces"]["ns"]["quarantined"] == 1
+        # the slot is usable again: a fresh put resets the strikes
+        cache.put("ns", "key", 43)
+        assert cache.get("ns", "key") == 43
+        assert cache.clear() == 1
+        assert not quarantined.exists()  # clear leaves no debris behind
+
+    def test_put_resets_decode_strikes(self, tmp_path):
+        cache = DiskCache(tmp_path, capacity=8)
+        cache.put("ns", "key", 1)
+        path = cache._entry_path("ns", "key")
+        for _ in range(DiskCache.QUARANTINE_AFTER - 1):
+            path.write_bytes(b"garbage")
+            assert cache.get("ns", "key") is None
+            cache.put("ns", "key", 2)   # strike counter back to zero
+        assert cache.get("ns", "key") == 2
+        assert cache.quarantined == 0
+
+    def test_orphan_tmp_sweep(self, tmp_path):
+        cache = DiskCache(tmp_path, capacity=8)
+        cache.EVICTION_STRIDE = 1
+        cache.put("ns", "key", 1)
+        ns_dir = cache.version_dir / "ns"
+        fresh = ns_dir / "writer-alive.tmp"
+        fresh.write_bytes(b"partial")
+        stale = ns_dir / "writer-died.tmp"
+        stale.write_bytes(b"partial")
+        old = 12345.0
+        os.utime(stale, (old, old))
+        cache.put("ns", "key2", 2)      # stride-1 triggers the sweep
+        assert not stale.exists()       # the corpse is reaped
+        assert fresh.exists()           # a live writer's file is not
+        assert cache.orphans_removed == 1
+        assert cache.stats()["orphans_removed"] == 1
+
+    def test_init_sweeps_orphans(self, tmp_path):
+        first = DiskCache(tmp_path, capacity=8)
+        first.put("ns", "key", 1)
+        stale = first.version_dir / "ns" / "corpse.tmp"
+        stale.write_bytes(b"partial")
+        os.utime(stale, (1.0, 1.0))
+        second = DiskCache(tmp_path, capacity=8)   # "new process"
+        assert not stale.exists()
+        assert second.orphans_removed == 1
 
     def test_token_mismatch_is_a_miss(self, tmp_path):
         """A hash collision (or tampered file) must never alias keys."""

@@ -1,0 +1,114 @@
+"""Tests for the hardened external-tool runner.
+
+``run_tool`` must never let ``subprocess`` trouble escape: a hung tool
+becomes a typed timeout result carrying its partial output, a launch
+failure becomes a typed error, and crash-shaped transient failures are
+retried under the policy.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.flows.tools import ToolResult, run_tool
+from repro.resilience import Deadline, FaultPlan, RetryPolicy
+
+
+def _py(code: str) -> list[str]:
+    return [sys.executable, "-c", code]
+
+
+class TestRunToolHappyPath:
+    def test_success_shape(self):
+        result = run_tool(_py("print('hello')"))
+        assert result.ok
+        assert result.returncode == 0
+        assert result.stdout.strip() == "hello"
+        assert result.attempts == 1
+        assert not result.timed_out
+        assert result.error == ""
+        assert result.elapsed_seconds > 0
+        assert result.failure_summary == ""
+
+    def test_nonzero_exit_is_not_retried(self):
+        result = run_tool(_py("import sys; sys.exit(3)"))
+        assert not result.ok
+        assert result.returncode == 3
+        assert result.attempts == 1
+        assert "status 3" in result.failure_summary
+
+
+class TestRunToolTimeouts:
+    def test_timeout_becomes_typed_failure_with_partial_output(self):
+        """The satellite fix: TimeoutExpired must not propagate."""
+        result = run_tool(
+            _py("import sys, time; print('partial-progress', flush=True); "
+                "print('some-diagnostic', file=sys.stderr, flush=True); "
+                "time.sleep(60)"),
+            timeout=1.0)
+        assert not result.ok
+        assert result.timed_out
+        assert result.returncode == -1
+        assert "partial-progress" in result.stdout   # captured, not lost
+        assert "some-diagnostic" in result.stderr
+        assert "timed out" in result.error
+        assert result.elapsed_seconds >= 1.0
+        assert "timed out" in result.failure_summary
+
+    def test_deadline_clips_the_timeout(self):
+        now = [0.0]
+        deadline = Deadline(0.5, clock=lambda: now[0])
+        result = run_tool(_py("import time; time.sleep(60)"),
+                          timeout=300.0, deadline=deadline)
+        assert result.timed_out
+        assert "0.5s" in result.error
+
+    def test_expired_deadline_never_launches(self):
+        now = [0.0]
+        deadline = Deadline(1.0, clock=lambda: now[0])
+        now[0] = 2.0
+        result = run_tool(_py("print('nope')"), deadline=deadline)
+        assert not result.ok
+        assert result.attempts == 0
+        assert "deadline expired" in result.error
+
+
+class TestRunToolFaults:
+    def test_injected_fault_is_retried(self):
+        plan = FaultPlan({"tool": {"indices": [0]}})
+        with plan.active():
+            result = run_tool(
+                _py("print('recovered')"),
+                retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0))
+        assert result.ok
+        assert result.attempts == 2
+        assert result.stdout.strip() == "recovered"
+
+    def test_exhausted_retries_return_typed_failure(self):
+        plan = FaultPlan({"tool": {"rate": 1.0}})
+        with plan.active():
+            result = run_tool(
+                _py("print('never runs')"),
+                retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0))
+        assert not result.ok
+        assert result.attempts == 3
+        assert "InjectedFault" in result.error
+        assert "failed to run" in result.failure_summary
+
+    def test_launch_failure_is_typed_not_raised(self):
+        result = run_tool(["/definitely/not/a/real/tool"],
+                          retry_policy=RetryPolicy(max_attempts=2,
+                                                   base_delay=0.0))
+        assert not result.ok
+        assert result.returncode == -1
+        assert "FileNotFoundError" in result.error
+
+
+class TestToolResultDataclass:
+    def test_defaults_stay_backward_compatible(self):
+        result = ToolResult(("yosys",), 0, "out", "err")
+        assert result.ok
+        assert result.attempts == 1
+        assert not result.timed_out

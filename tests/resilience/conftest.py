@@ -1,0 +1,15 @@
+"""Shared fixtures for the resilience-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import COUNTERS
+
+
+@pytest.fixture(autouse=True)
+def _fresh_counters():
+    """Isolate the process-wide resilience counters per test."""
+    COUNTERS.reset()
+    yield
+    COUNTERS.reset()

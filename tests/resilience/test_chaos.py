@@ -1,0 +1,153 @@
+"""Chaos tests: injected faults must never change a report byte.
+
+Each test computes a fault-free golden first, then repeats the identical
+computation under a seeded :class:`FaultPlan` — crashed pool workers,
+failing disk-cache reads, dying leaders — and asserts the recovered
+output is byte-identical.  Determinism is what makes these tests exact
+rather than probabilistic: the same seed injects the same faults in
+every run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.compiler.pipeline import clear_calibration_cache
+from repro.cost.cache import redirected_cache_dir
+from repro.explore.engine import ProcessPoolBackend, SerialBackend
+from repro.resilience import FAULT_PLAN_ENV, FaultPlan, RetryPolicy
+from repro.suite import SuiteConfig, WorkloadSuite
+
+
+def _tiny_config() -> SuiteConfig:
+    return SuiteConfig.tiny(kernels=("sor", "matmul"))
+
+
+@pytest.fixture
+def golden_report() -> str:
+    """The fault-free report bytes for the tiny two-kernel suite."""
+    return WorkloadSuite(_tiny_config()).run().report.to_json()
+
+
+class TestSerialChaos:
+    def test_injected_worker_faults_do_not_change_report_bytes(
+            self, golden_report):
+        plan = FaultPlan({"worker": {"rate": 0.3}}, seed=3)
+        with plan.active():
+            chaotic = WorkloadSuite(
+                _tiny_config(), backend=SerialBackend()).run()
+        stats = plan.stats()
+        assert stats["sites"]["worker"]["injected"] > 0, \
+            "seed produced no faults; the test would be vacuous"
+        assert chaotic.report.to_json() == golden_report
+
+    def test_cache_read_faults_become_recomputed_misses(
+            self, golden_report, tmp_path):
+        plan = FaultPlan({"cache.read": {"rate": 0.5}}, seed=5)
+        with redirected_cache_dir(tmp_path / "chaos-cache"):
+            clear_calibration_cache()
+            try:
+                with plan.active():
+                    chaotic = WorkloadSuite(
+                        _tiny_config(), backend=SerialBackend()).run()
+            finally:
+                clear_calibration_cache()
+        assert plan.stats()["sites"]["cache.read"]["injected"] > 0
+        assert chaotic.report.to_json() == golden_report
+
+    def test_cache_write_faults_leave_orphans_not_corruption(
+            self, golden_report, tmp_path):
+        """A writer dying pre-rename costs persistence, never correctness."""
+        from repro.cost.cache import default_disk_cache
+
+        plan = FaultPlan({"cache.write": {"rate": 0.5}}, seed=9)
+        with redirected_cache_dir(tmp_path / "chaos-cache"):
+            clear_calibration_cache()
+            try:
+                with plan.active():
+                    chaotic = WorkloadSuite(
+                        _tiny_config(), backend=SerialBackend()).run()
+                cache = default_disk_cache()
+                orphans = (list(cache.version_dir.rglob("*.tmp"))
+                           if cache is not None else [])
+            finally:
+                clear_calibration_cache()
+        assert plan.stats()["sites"]["cache.write"]["injected"] > 0
+        assert orphans, "injected write faults should leave .tmp corpses"
+        assert chaotic.report.to_json() == golden_report
+
+
+class TestPoolChaos:
+    def test_worker_crashes_requeue_to_byte_identical_report(
+            self, golden_report, monkeypatch):
+        """The acceptance scenario: ~20% of pool workers die mid-sweep.
+
+        ``crash`` mode calls ``os._exit`` inside the worker — a genuine
+        ``BrokenProcessPool``, not a simulated exception — and the plan
+        travels to the (forked/spawned) workers via the environment.
+        """
+        plan = FaultPlan({"worker": {"rate": 0.2, "mode": "crash"}}, seed=2)
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.as_json())
+        backend = ProcessPoolBackend(
+            max_workers=2,
+            retry_policy=RetryPolicy(max_attempts=8, base_delay=0.01,
+                                     max_delay=0.1))
+        chaotic = WorkloadSuite(_tiny_config(), backend=backend).run()
+        monkeypatch.delenv(FAULT_PLAN_ENV)
+
+        resilience = backend.collect_stats().get("resilience", {})
+        assert resilience.get("requeued_batches", 0) > 0, \
+            "seed crashed no workers; the test would be vacuous"
+        assert resilience.get("pool_respawns", 0) > 0
+        assert chaotic.report.to_json() == golden_report
+
+    def test_injected_raise_faults_requeue_without_respawn_side_effects(
+            self, golden_report, monkeypatch):
+        """``raise``-mode worker faults travel the same requeue path."""
+        plan = FaultPlan({"worker": {"rate": 0.4, "mode": "raise"}}, seed=4)
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.as_json())
+        backend = ProcessPoolBackend(max_workers=2)
+        chaotic = WorkloadSuite(_tiny_config(), backend=backend).run()
+        monkeypatch.delenv(FAULT_PLAN_ENV)
+        assert backend.collect_stats()["resilience"]["requeued_batches"] > 0
+        assert chaotic.report.to_json() == golden_report
+
+    def test_unrecoverable_crash_rate_exhausts_the_budget(self, monkeypatch):
+        """A plan that kills every worker forever must fail loudly."""
+        from repro.resilience import RetryBudgetExceededError
+
+        plan = FaultPlan({"worker": {"rate": 1.0, "mode": "raise"}})
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.as_json())
+        backend = ProcessPoolBackend(
+            max_workers=2,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0))
+        with pytest.raises(RetryBudgetExceededError):
+            WorkloadSuite(_tiny_config(), backend=backend).run()
+        monkeypatch.delenv(FAULT_PLAN_ENV)
+
+
+class TestCombinedChaos:
+    def test_cache_and_worker_faults_together(self, golden_report, tmp_path):
+        """The full acceptance plan: dying workers *and* a flaky cache."""
+        plan = FaultPlan({"worker": {"rate": 0.2},
+                          "cache.read": {"rate": 0.1}}, seed=7)
+        with redirected_cache_dir(tmp_path / "chaos-cache"):
+            clear_calibration_cache()
+            try:
+                with plan.active():
+                    chaotic = WorkloadSuite(
+                        _tiny_config(), backend=SerialBackend()).run()
+            finally:
+                clear_calibration_cache()
+        stats = plan.stats()["sites"]
+        assert stats["worker"]["injected"] > 0
+        assert chaotic.report.to_json() == golden_report
+
+    def test_plan_stats_roundtrip_through_json(self):
+        plan = FaultPlan({"worker": {"rate": 0.2, "mode": "crash"},
+                          "cache.read": 0.1}, seed=7)
+        payload = json.loads(plan.as_json())
+        assert payload["seed"] == 7
+        assert set(payload["sites"]) == {"worker", "cache.read"}

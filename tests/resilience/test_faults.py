@@ -1,0 +1,123 @@
+"""Tests for the deterministic fault-injection harness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.resilience import (
+    COUNTERS,
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    current_fault_plan,
+    maybe_fail,
+)
+
+
+class TestFaultSpec:
+    def test_from_scalar_and_dict(self):
+        assert FaultSpec.from_spec(0.25).rate == 0.25
+        spec = FaultSpec.from_spec({"indices": [0, 3], "mode": "crash",
+                                    "max_failures": 2})
+        assert spec.indices == (0, 3)
+        assert spec.mode == "crash"
+        assert spec.max_failures == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(mode="explode")
+
+
+class TestFaultPlan:
+    def test_schedule_is_deterministic(self):
+        decide = lambda plan: [plan.should_fail("s") for _ in range(100)]
+        first = decide(FaultPlan({"s": 0.3}, seed=11))
+        assert first == decide(FaultPlan({"s": 0.3}, seed=11))
+        assert any(first) and not all(first)
+        assert first != decide(FaultPlan({"s": 0.3}, seed=12))
+
+    def test_salt_shifts_the_schedule(self):
+        plan_a = FaultPlan({"s": 0.3}, seed=5)
+        plan_b = FaultPlan({"s": 0.3}, seed=5)
+        a = [plan_a.should_fail("s", salt=0) for _ in range(50)]
+        b = [plan_b.should_fail("s", salt=1) for _ in range(50)]
+        assert a != b   # a respawned epoch draws a fresh schedule
+
+    def test_explicit_indices_and_max_failures(self):
+        plan = FaultPlan({"s": {"indices": [1, 2, 3], "max_failures": 2}})
+        decisions = [plan.should_fail("s") for _ in range(5)]
+        assert decisions == [False, True, True, False, False]
+
+    def test_unknown_site_never_fails(self):
+        plan = FaultPlan({"s": 1.0})
+        assert not plan.should_fail("other")
+
+    def test_fire_raises_and_counts(self):
+        plan = FaultPlan({"s": {"indices": [0]}})
+        with pytest.raises(InjectedFault) as excinfo:
+            plan.fire("s")
+        assert excinfo.value.site == "s"
+        assert plan.stats()["sites"]["s"] == {"calls": 1, "injected": 1}
+        assert COUNTERS.get("faults.injected") == 1
+        assert COUNTERS.get("faults.s") == 1
+        plan.fire("s")  # second call is scheduled clean
+
+    def test_json_roundtrip(self):
+        plan = FaultPlan({"worker": {"rate": 0.2, "mode": "crash"},
+                          "cache.read": 0.1}, seed=7)
+        clone = FaultPlan.from_json(plan.as_json())
+        assert clone.seed == 7
+        assert clone.sites == plan.sites
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_json(json.dumps({"seed": 1}))
+
+
+class TestActivation:
+    def test_no_plan_means_noop(self, monkeypatch):
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        assert current_fault_plan() is None
+        maybe_fail("anything")  # must be a no-op, not an error
+
+    def test_lexical_activation_nests_and_restores(self):
+        plan = FaultPlan({"s": {"indices": [0]}})
+        assert current_fault_plan() is None
+        with plan.active():
+            assert current_fault_plan() is plan
+            with pytest.raises(InjectedFault):
+                maybe_fail("s")
+        assert current_fault_plan() is None
+
+    def test_env_activation_memoizes_counters(self, monkeypatch):
+        raw = json.dumps({"seed": 1, "sites": {"s": {"indices": [0, 1]}}})
+        monkeypatch.setenv(FAULT_PLAN_ENV, raw)
+        plan = current_fault_plan()
+        assert plan is not None
+        with pytest.raises(InjectedFault):
+            maybe_fail("s")
+        # the counter advanced on the memoized instance, so the second
+        # scheduled failure (index 1) fires on the *next* call
+        assert current_fault_plan() is plan
+        with pytest.raises(InjectedFault):
+            maybe_fail("s")
+        maybe_fail("s")  # index 2: clean
+
+    def test_env_activation_from_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"sites": {"s": {"indices": [0]}}}))
+        monkeypatch.setenv(FAULT_PLAN_ENV, str(path))
+        with pytest.raises(InjectedFault):
+            maybe_fail("s")
+
+    def test_env_garbage_is_ignored(self, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "/nonexistent/plan.json")
+        assert current_fault_plan() is None
+        monkeypatch.setenv(FAULT_PLAN_ENV, "{not json")
+        assert current_fault_plan() is None
