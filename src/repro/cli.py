@@ -73,12 +73,17 @@ from pathlib import Path
 from repro.compiler import CompilationOptions, TybecCompiler
 from repro.cost import SustainedBandwidthModel, calibrate_device
 from repro.explore import (
+    OPTIMIZERS,
     DenseBackend,
     DenseUnsupportedError,
     DesignSpace,
+    ExhaustiveOptimizer,
     ExplorationEngine,
+    FmaxBinarySearchOptimizer,
     ProcessPoolBackend,
     SerialBackend,
+    SuccessiveHalvingOptimizer,
+    SurrogatePrunedOptimizer,
     SweepResult,
     clock_range,
     exhaustive_search,
@@ -147,6 +152,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="rows to show for dense sweeps (default: 12)")
     explore.add_argument("--pareto", action="store_true",
                          help="report the throughput/utilisation Pareto frontier")
+    explore.add_argument("--optimizer", choices=list(OPTIMIZERS), default=None,
+                         help="drive the sweep through an incremental "
+                              "optimizer loop: exhaustive (every point), "
+                              "fmax (binary-search the highest feasible "
+                              "clock per design family; --forms defaults to "
+                              "A B here, since form C designs are always "
+                              "feasible), halving (successive-halving race "
+                              "between forms under --budget), surrogate "
+                              "(dense numpy prune, then exact costing of "
+                              "the top --keep fraction)")
+    explore.add_argument("--resolution", type=float, default=None, metavar="MHZ",
+                         help="fmax bracket resolution in MHz "
+                              "(--optimizer fmax; default: 1.0)")
+    explore.add_argument("--budget", type=int, default=None, metavar="N",
+                         help="total cost-evaluation budget "
+                              "(--optimizer halving; default: 64)")
+    explore.add_argument("--keep", type=float, default=None, metavar="FRAC",
+                         help="fraction of points kept by the dense prune "
+                              "(--optimizer surrogate; default: 0.1)")
     explore.add_argument("--json", action="store_true")
 
     calibrate = sub.add_parser("calibrate", help="run the one-time device characterisation")
@@ -302,6 +326,29 @@ def build_parser() -> argparse.ArgumentParser:
                             help="cap on work items streamed per family "
                                  "(default: 512)")
 
+    suite_dse = suite_sub.add_parser(
+        "dse",
+        help="optimizer-driven design-space exploration over the suite grid "
+             "(canonical repro-dse-report/1 with per-round provenance)",
+        description="Instead of eagerly costing every grid point, drive an "
+                    "incremental optimizer loop per kernel (or one "
+                    "cross-kernel successive-halving race) and report what "
+                    "each round proposed, what it cost, and what the "
+                    "optimizer concluded.",
+    )
+    _add_suite_sweep_args(suite_dse)
+    suite_dse.add_argument("--optimizer", choices=list(OPTIMIZERS),
+                           default="fmax",
+                           help="search strategy (default: fmax)")
+    suite_dse.add_argument("--resolution", type=float, default=None,
+                           metavar="MHZ",
+                           help="fmax bracket resolution (--optimizer fmax)")
+    suite_dse.add_argument("--budget", type=int, default=None, metavar="N",
+                           help="cost-evaluation budget (--optimizer halving)")
+    suite_dse.add_argument("--keep", type=float, default=None, metavar="FRAC",
+                           help="dense-prune keep fraction "
+                                "(--optimizer surrogate)")
+
     suite_diff = suite_sub.add_parser(
         "diff", help="compare two suite reports field by field "
                      "(exit 1 on any difference)")
@@ -433,13 +480,24 @@ def _cmd_emit(args) -> int:
     return 0
 
 
-def _explore_backend(args):
-    """The evaluation backend the CLI flags imply (None = caller default)."""
+def _explore_backend(args, optimizer: str | None = None):
+    """The evaluation backend the CLI flags imply (None = caller default).
+
+    ``--dense --jobs N`` composes only under the surrogate optimizer,
+    where the two backends run different stages: the dense broadcast pass
+    prunes the space and the process pool costs the survivors.  Every
+    other path evaluates each point exactly once, so the flags name two
+    mutually exclusive ways of doing the same work.
+    """
     if getattr(args, "dense", False):
         if args.jobs and args.jobs > 1:
+            if optimizer == "surrogate":
+                return ProcessPoolBackend(max_workers=args.jobs)
             raise ValueError(
                 "--dense is single-process by design (one broadcast pass, no "
-                "per-point fan-out); it cannot be combined with --jobs"
+                "per-point fan-out); it cannot be combined with --jobs. "
+                "To prune densely and cost the survivors on worker "
+                "processes, use --optimizer surrogate"
             )
         return DenseBackend()
     if args.jobs and args.jobs > 1:
@@ -581,9 +639,129 @@ def _cmd_explore_space(args, kernel, grid) -> int:
     return 0
 
 
+def _describe_best(best: dict | None) -> str | None:
+    """One-line rendering of an optimizer's best-point payload."""
+    if not best:
+        return None
+    return (f"best feasible point: {best['kernel']} x{best['lanes']} "
+            f"@{best['clock_mhz']:g}MHz form={best['form']} "
+            f"{best['pattern']} — EKIT {best['ekit_per_s']:.4f}/s")
+
+
+def _cmd_explore_optimizer(args, kernel, grid) -> int:
+    """Incremental optimizer-driven exploration (``--optimizer ...``)."""
+    clocks = tuple(args.clocks) if args.clocks else (None,)
+    if args.clock_range:
+        if args.clocks:
+            print("--clock-range cannot be combined with --clocks",
+                  file=sys.stderr)
+            return 2
+        try:
+            clocks = clock_range(args.clock_range)
+        except ValueError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+    try:
+        backend = _explore_backend(args, optimizer=args.optimizer)
+    except ValueError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    forms = tuple(args.forms) if args.forms else None
+    if forms is None:
+        # form C (and "auto", which picks C on small footprints) needs no
+        # external bandwidth, so every clock is feasible and an fmax
+        # search just walks to the cap — bracket the bandwidth-bound
+        # forms by default instead
+        forms = ("A", "B") if args.optimizer == "fmax" else ("auto",)
+    space = DesignSpace(
+        kernel=kernel,
+        grid=grid,
+        iterations=args.iterations,
+        lanes=args.lanes,
+        max_lanes=args.max_lanes,
+        clocks_mhz=clocks,
+        forms=forms,
+        devices=(get_device(args.device),),
+        patterns=tuple(PatternKind(p) for p in args.patterns) if args.patterns
+        else (PatternKind.CONTIGUOUS,),
+    )
+    if len(space) == 0:
+        print(f"no valid lane counts for grid {grid} "
+              f"(lanes must divide the NDRange size)", file=sys.stderr)
+        return 2
+    if args.optimizer == "exhaustive":
+        optimizer = ExhaustiveOptimizer([space])
+    elif args.optimizer == "fmax":
+        optimizer = FmaxBinarySearchOptimizer(
+            [space], resolution=args.resolution if args.resolution else 1.0)
+    elif args.optimizer == "halving":
+        arms = [(f"{kernel.name}:{form}", space.subspace(forms=(form,)))
+                for form in forms]
+        optimizer = SuccessiveHalvingOptimizer(
+            arms, budget=args.budget if args.budget else 64)
+    else:
+        optimizer = SurrogatePrunedOptimizer(
+            space, keep_fraction=args.keep if args.keep else 0.1,
+            dense_backend=DenseBackend())
+    run = ExplorationEngine(backend).run_optimizer(optimizer)
+    result = run.result
+
+    if args.json:
+        print(json.dumps({
+            "result": result,
+            "rounds": run.rounds_payload(),
+            "evaluated": run.evaluated,
+            "wall_seconds": run.wall_seconds,
+        }, indent=2))
+        return 0
+
+    print(f"exploring {kernel.name} on {args.device}, grid {tuple(grid)} "
+          f"with the {args.optimizer} optimizer "
+          f"({len(run.rounds)} round(s), {run.evaluated} point(s) costed, "
+          f"{run.wall_seconds:.3f} s)")
+    if args.optimizer == "fmax":
+        header = (f"{'lanes':>5} {'form':>4} {'pattern':>10} {'fmax MHz':>9} "
+                  f"{'probes':>6}  note")
+        print(header)
+        print("-" * len(header))
+        for fam in result["families"]:
+            fmax = "-" if fam["fmax_mhz"] is None else f"{fam['fmax_mhz']:.2f}"
+            print(f"{fam['lanes']:>5} {fam['form']:>4} {fam['pattern']:>10} "
+                  f"{fmax:>9} {fam['probes']:>6}  {fam['note']}")
+    elif args.optimizer == "halving":
+        for arm in result["arms"]:
+            ekit = arm["best_ekit_per_s"]
+            best_s = "-" if ekit is None else f"{ekit:.4f}/s"
+            if arm["arm"] == result["winner"]:
+                status = "winner"
+            elif arm["eliminated_rung"] is not None:
+                status = f"eliminated at rung {arm['eliminated_rung']}"
+            else:
+                status = "survived"
+            print(f"  {arm['arm']}: {arm['evaluated']} point(s), "
+                  f"best EKIT {best_s} ({status})")
+        print(f"budget spent: {result['spent']}/{result['budget']} "
+              f"over {result['rungs']} rung(s)")
+    elif args.optimizer == "surrogate":
+        print(f"dense prune: {result['dense_points']} point(s) -> "
+              f"{result['scalar_points']} survivor(s) costed exactly "
+              f"({result['pruned']} pruned, keep {result['keep_fraction']:g})")
+        if result["fallback"]:
+            print("(dense path unavailable for this space; "
+                  "every point was costed exactly)")
+    line = _describe_best(result.get("best"))
+    if line:
+        print(line)
+    elif args.optimizer != "fmax":
+        print("no feasible point found")
+    return 0
+
+
 def _cmd_explore(args) -> int:
     kernel = get_kernel(args.kernel)
     grid = tuple(args.grid) if args.grid else kernel.default_grid
+    if args.optimizer:
+        return _cmd_explore_optimizer(args, kernel, grid)
     multi_axis = (any((args.clocks, args.forms, args.patterns, args.clock_range))
                   or args.pareto or args.dense)
     if multi_axis:
@@ -874,10 +1052,55 @@ def _cmd_suite_record_golden(args) -> int:
     return 0
 
 
+def _cmd_suite_dse(args) -> int:
+    from repro.suite import run_dse
+
+    params = {}
+    if args.resolution is not None:
+        params["resolution"] = args.resolution
+    if args.budget is not None:
+        params["budget"] = args.budget
+    if args.keep is not None:
+        params["keep_fraction"] = args.keep
+    try:
+        config = _suite_config_from_args(args)
+        backend = _explore_backend(args, optimizer=args.optimizer)
+        run = run_dse(config, args.optimizer, backend=backend,
+                      params=params or None)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.output:
+        run.report.write(args.output)
+        print(f"wrote DSE report to {args.output}", file=sys.stderr)
+    if args.json:
+        print(run.report.to_json(), end="")
+        return 0
+    totals = run.report.totals
+    print(f"{args.optimizer} DSE over {totals['runs']} run(s): "
+          f"{totals['points']} point(s) costed in {totals['rounds']} "
+          f"round(s) ({run.wall_seconds:.3f} s)")
+    for label in sorted(run.report.payload["runs"]):
+        payload = run.report.payload["runs"][label]
+        result = payload["result"]
+        if result["optimizer"] == "fmax":
+            finite = sum(1 for f in result["families"]
+                         if f["fmax_mhz"] is not None)
+            print(f"  {label}: {payload['evaluated']} probe(s), "
+                  f"{finite}/{len(result['families'])} design families "
+                  f"with a finite fmax")
+        else:
+            line = _describe_best(result.get("best"))
+            suffix = f" — {line}" if line else ""
+            print(f"  {label}: {payload['evaluated']} point(s){suffix}")
+    return 0
+
+
 _SUITE_COMMANDS = {
     "run": _cmd_suite_run,
     "validate": _cmd_suite_validate,
     "flow": _cmd_suite_flow,
+    "dse": _cmd_suite_dse,
     "diff": _cmd_suite_diff,
     "record-golden": _cmd_suite_record_golden,
 }

@@ -12,11 +12,17 @@ multi-axis design spaces evaluated in parallel.
 ``engine``
     The batched exploration engine: serial and process-pool evaluation
     backends, ``cost_many`` and sweep results with Pareto selection.
+``optimizer``
+    Incremental exploration: the ``Optimizer`` protocol
+    (``next_batch``/``process_outcome``) and the exhaustive, fmax
+    binary-search, successive-halving and surrogate-pruned optimizers the
+    engine's driver loop runs.
 ``variants``
     Generation of lane-count variant families for a kernel.
 ``search``
     Exhaustive, guided (wall-following) and Pareto-frontier searches over
-    variants using the TyBEC compiler's cost reports.
+    variants using the TyBEC compiler's cost reports (thin shims over the
+    optimizer loop).
 ``roofline``
     A roofline-style view of variants (operational intensity vs attainable
     performance), following the paper's pointer to the FPGA roofline
@@ -32,6 +38,7 @@ from repro.explore.space import (
     DesignSpace,
     build_jobs,
     clock_range,
+    iter_jobs,
     linspace_clocks,
 )
 from repro.explore.engine import (
@@ -45,6 +52,19 @@ from repro.explore.engine import (
     pareto_frontier,
 )
 from repro.explore.dense import DenseBackend, DenseSweep
+from repro.explore.optimizer import (
+    OPTIMIZERS,
+    ExhaustiveOptimizer,
+    FmaxBinarySearchOptimizer,
+    GuidedLaneOptimizer,
+    JobFactory,
+    Optimizer,
+    OptimizerRound,
+    OptimizerRun,
+    SuccessiveHalvingOptimizer,
+    SurrogatePrunedOptimizer,
+    drive_optimizer,
+)
 from repro.explore.search import (
     ExplorationResult,
     exhaustive_search,
@@ -69,6 +89,18 @@ __all__ = [
     "DesignPoint",
     "DesignSpace",
     "build_jobs",
+    "iter_jobs",
+    "OPTIMIZERS",
+    "Optimizer",
+    "OptimizerRound",
+    "OptimizerRun",
+    "JobFactory",
+    "drive_optimizer",
+    "ExhaustiveOptimizer",
+    "FmaxBinarySearchOptimizer",
+    "GuidedLaneOptimizer",
+    "SuccessiveHalvingOptimizer",
+    "SurrogatePrunedOptimizer",
     "ExplorationEngine",
     "ProcessPoolBackend",
     "SerialBackend",

@@ -32,6 +32,7 @@ per-point path.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from dataclasses import dataclass, field
@@ -331,6 +332,31 @@ class DenseSweep:
             idx = np.arange(self.evaluated)
         order = idx[np.argsort(-self.ekit[idx], kind="stable")][:k]
         return self.entries_at(order)
+
+    def prune_indices(self, keep_fraction: float = 0.1,
+                      keep_min: int = 1) -> list[int]:
+        """Flat indices of the points a surrogate prune keeps.
+
+        The dense backend as a *prune stage*: the top
+        ``max(keep_min, ceil(keep_fraction * n))`` points by EKIT among
+        the feasible ones (among all points when nothing fits, so a
+        downstream scalar pass still sees the least-bad candidates).
+        Returned in ascending sweep order, so survivors costed by a
+        scalar backend break throughput ties exactly like the full
+        sweep's ``max`` would.
+        """
+        if not 0 < keep_fraction <= 1:
+            raise ValueError(
+                f"keep_fraction must be in (0, 1], got {keep_fraction}")
+        if self.evaluated == 0:
+            return []
+        keep = min(self.evaluated,
+                   max(int(keep_min), math.ceil(keep_fraction * self.evaluated)))
+        idx = np.flatnonzero(self.feasible)
+        if len(idx) == 0:
+            idx = np.arange(self.evaluated)
+        order = idx[np.argsort(-self.ekit[idx], kind="stable")][:keep]
+        return sorted(int(i) for i in order)
 
     def pareto_frontier(
         self,

@@ -48,7 +48,7 @@ from repro.compiler.pipeline import (
 )
 from repro.cost.cache import env_int
 from repro.cost.report import CostReport
-from repro.explore.space import CostJob, DesignPoint, DesignSpace, build_jobs
+from repro.explore.space import CostJob, DesignPoint, DesignSpace
 from repro.resilience import (
     COUNTERS,
     Deadline,
@@ -516,26 +516,78 @@ class SweepResult:
 
 
 class ExplorationEngine:
-    """Batched costing of design points through a pluggable backend."""
+    """Incremental costing of design points through a pluggable backend.
+
+    The engine is a driver loop around the :class:`Optimizer` protocol
+    (:mod:`repro.explore.optimizer`): an optimizer proposes point
+    batches, the backend costs them, the outcomes feed back.  The classic
+    entry points — :meth:`cost_many` and :meth:`explore` — are the
+    degenerate ``ExhaustiveOptimizer`` driven through the same loop, and
+    stay byte-identical to the pre-loop eager engine.
+    """
 
     def __init__(self, backend: SerialBackend | ProcessPoolBackend | None = None):
         self.backend = backend or SerialBackend()
+
+    def run_optimizer(self, optimizer, *, deadline: Deadline | None = None,
+                      retry_policy: RetryPolicy | None = None,
+                      on_round=None):
+        """Drive an optimizer to completion through this engine's backend.
+
+        One loop round = one ``next_batch()`` proposed, costed, fed back.
+        ``deadline`` bounds the whole loop (checked between rounds, and
+        propagated into the backend, which checks it between points or
+        batch completions).  ``retry_policy`` optionally wraps each batch
+        dispatch — a loop-level budget *on top of* the backends' own
+        per-batch recovery, so the default is a single attempt.
+        ``on_round(round, entries)`` fires after every round, which is
+        what lets the service stream round events.  Returns an
+        :class:`~repro.explore.optimizer.OptimizerRun`.
+        """
+        from repro.explore.optimizer import (
+            JobFactory,
+            OptimizerRun,
+            drive_optimizer,
+        )
+
+        policy = retry_policy if retry_policy is not None else RetryPolicy.none()
+        job_for = getattr(optimizer, "job_for", None) or JobFactory()
+        started = time.perf_counter()
+
+        def evaluate(points):
+            jobs = [job_for(point) for point in points]
+            if policy.max_attempts > 1:
+                reports = policy.call(
+                    lambda attempt: self.backend.run(jobs, deadline=deadline),
+                    key="optimizer-batch", what="optimizer batch",
+                    deadline=deadline)
+            else:
+                reports = self.backend.run(jobs, deadline=deadline)
+            return [SweepEntry(job.point, report)
+                    for job, report in zip(jobs, reports)]
+
+        entries, rounds = drive_optimizer(
+            optimizer, evaluate, deadline=deadline, on_round=on_round)
+        wall = time.perf_counter() - started
+        collect = getattr(self.backend, "collect_stats", None)
+        stats = collect() if collect is not None else {}
+        return OptimizerRun(entries=entries, rounds=rounds,
+                            result=optimizer.result(), wall_seconds=wall,
+                            stats=stats)
 
     def cost_many(self, jobs: Sequence[CostJob],
                   deadline: Deadline | None = None) -> SweepResult:
         """Cost a batch of jobs; reports keep the job order.
 
+        One exhaustive-optimizer round through :meth:`run_optimizer`:
         ``deadline`` propagates into the backend, which checks it between
         design points (serial) or batch completions (pool).
         """
-        jobs = list(jobs)
-        started = time.perf_counter()
-        reports = self.backend.run(jobs, deadline=deadline)
-        wall = time.perf_counter() - started
-        entries = [SweepEntry(job.point, report) for job, report in zip(jobs, reports)]
-        collect = getattr(self.backend, "collect_stats", None)
-        stats = collect() if collect is not None else {}
-        return SweepResult(entries=entries, wall_seconds=wall, stats=stats)
+        from repro.explore.optimizer import ExhaustiveOptimizer
+
+        run = self.run_optimizer(ExhaustiveOptimizer(jobs=jobs),
+                                 deadline=deadline)
+        return run.sweep()
 
     def explore(self, space: DesignSpace) -> SweepResult:
         """Lower a design space and cost every point.
@@ -543,7 +595,7 @@ class ExplorationEngine:
         A backend with a dense lowering (``explore_space``) evaluates the
         whole space as broadcast arrays and materializes every report;
         spaces the dense path cannot represent (non-lane-separable
-        designs) transparently fall back to the per-point oracle.
+        designs) transparently fall back to the per-point optimizer loop.
         """
         dense = getattr(self.backend, "explore_space", None)
         if dense is not None:
@@ -553,7 +605,10 @@ class ExplorationEngine:
                 return dense(space).materialize_all()
             except DenseUnsupportedError:
                 pass
-        return self.cost_many(build_jobs(space))
+        from repro.explore.optimizer import ExhaustiveOptimizer
+
+        run = self.run_optimizer(ExhaustiveOptimizer(space))
+        return run.sweep()
 
     def explore_dense(self, space: DesignSpace):
         """Dense-evaluate a space *without* materializing its reports.

@@ -1,12 +1,17 @@
 """Exploration strategies over variant families and design spaces.
 
-The cost model's speed (well under a second per variant) makes an
-exhaustive sweep over lane counts practical; the guided search additionally
-uses the *limiting factor* the cost model exposes to stop expanding an axis
-once it stops paying off — the targeted-optimisation loop the paper
-anticipates for its compiler feedback path.  Both are now thin strategies
-over the batched :class:`~repro.explore.engine.ExplorationEngine`, which
-also powers the multi-axis :func:`pareto_search`.
+Every strategy here is now a thin shim over the incremental
+:class:`~repro.explore.optimizer.Optimizer` loop — the bespoke
+per-strategy sweep code is gone.  ``exhaustive_search`` drives an
+:class:`~repro.explore.optimizer.ExhaustiveOptimizer` through the
+engine, ``guided_search`` drives a
+:class:`~repro.explore.optimizer.GuidedLaneOptimizer` through the
+caller's compiler (the wall-following loop the paper anticipates for its
+compiler feedback path), and ``pareto_search`` post-processes an
+optimizer-driven sweep into its frontier.  The public signatures are
+kept verbatim for existing callers; new code should construct optimizers
+directly and run them with
+:meth:`~repro.explore.engine.ExplorationEngine.run_optimizer`.
 """
 
 from __future__ import annotations
@@ -15,12 +20,16 @@ from dataclasses import dataclass, field
 
 from repro.compiler.driver import TybecCompiler
 from repro.cost.report import CostReport
-from repro.cost.throughput import LimitingFactor
 from repro.explore.engine import (
     ExplorationEngine,
     SerialBackend,
     SweepEntry,
     SweepResult,
+)
+from repro.explore.optimizer import (
+    ExhaustiveOptimizer,
+    GuidedLaneOptimizer,
+    drive_optimizer,
 )
 from repro.explore.space import CostJob, DesignPoint, DesignSpace
 from repro.explore.variants import VariantRecord
@@ -109,16 +118,18 @@ def exhaustive_search(
 ) -> ExplorationResult:
     """Cost every variant and pick the fastest feasible one.
 
-    A thin strategy over the exploration engine: by default the variants
-    run serially through the compiler's own memoizing pipeline; pass an
-    evaluation backend (e.g. a ``ProcessPoolBackend``) to fan the sweep
-    out.
+    Deprecated shim: drives an
+    :class:`~repro.explore.optimizer.ExhaustiveOptimizer` over the
+    prebuilt variant jobs.  By default the variants run serially through
+    the compiler's own memoizing pipeline; pass an evaluation backend
+    (e.g. a ``ProcessPoolBackend``) to fan the sweep out.
     """
     if not variants:
         raise ValueError("no variants to explore")
     engine = ExplorationEngine(backend or SerialBackend(pipeline=compiler.pipeline))
-    sweep = engine.cost_many(_lane_jobs(compiler, variants))
-    return _to_lane_result(variants[0].kernel, sweep)
+    run = engine.run_optimizer(
+        ExhaustiveOptimizer(jobs=_lane_jobs(compiler, variants)))
+    return _to_lane_result(variants[0].kernel, run.sweep())
 
 
 def guided_search(
@@ -129,34 +140,34 @@ def guided_search(
 ) -> ExplorationResult:
     """Walk lane counts upward until a wall is hit.
 
-    The search evaluates variants in increasing lane order and stops when
-    either (a) the variant no longer fits the device (the computation
-    wall), or (b) throughput improves by less than ``min_gain`` over the
-    previous variant while the limiting factor is a communication wall —
-    adding lanes cannot help a bandwidth-bound design.  Inherently
-    sequential (each step decides whether to take the next), so it always
-    runs in-process — but through the memoizing pipeline, so re-walks of a
-    family are cheap.
+    Deprecated shim: drives a
+    :class:`~repro.explore.optimizer.GuidedLaneOptimizer`, which stops
+    when either (a) the variant no longer fits the device (the
+    computation wall), or (b) throughput improves by less than
+    ``min_gain`` over the previous variant while the limiting factor is a
+    communication wall — adding lanes cannot help a bandwidth-bound
+    design.  Inherently sequential (each outcome decides the next
+    proposal), so the loop evaluates directly through the caller's
+    compiler — injected models, memoized pipeline and all.
     """
-    if not variants:
-        raise ValueError("no variants to explore")
-    ordered = sorted(variants, key=lambda v: v.lanes)
-    result = ExplorationResult(kernel=ordered[0].kernel)
-    previous_ekit = 0.0
-    for variant in ordered:
-        report = compiler.cost(variant.module, variant.workload)
-        result.reports[variant.lanes] = report
-        result.estimation_seconds += report.estimation_seconds
-        result.evaluated += 1
-        if not report.feasibility.fits_resources:
-            break  # computation wall
-        bandwidth_bound = report.limiting_factor in (
-            LimitingFactor.HOST_BANDWIDTH,
-            LimitingFactor.DRAM_BANDWIDTH,
-        )
-        if previous_ekit > 0 and report.ekit < previous_ekit * min_gain and bandwidth_bound:
-            break  # communication wall: wider designs stop paying off
-        previous_ekit = report.ekit
+    optimizer = GuidedLaneOptimizer(
+        variants, min_gain=min_gain,
+        options=getattr(compiler, "options", None))
+
+    def evaluate(points):
+        entries = []
+        for point in points:
+            variant = optimizer.variant_for(point)
+            entries.append(
+                SweepEntry(point, compiler.cost(variant.module, variant.workload)))
+        return entries
+
+    drive_optimizer(optimizer, evaluate)
+    result = ExplorationResult(kernel=optimizer.kernel)
+    for entry in optimizer.entries:
+        result.reports[entry.point.lanes] = entry.report
+        result.estimation_seconds += entry.report.estimation_seconds
+    result.evaluated = len(optimizer.entries)
     _select_best(result)
     return result
 
@@ -169,8 +180,10 @@ def pareto_search(
 ) -> tuple[SweepResult, list[SweepEntry]]:
     """Cost a multi-axis design space and return its Pareto frontier.
 
-    Where the single-axis searches pick one winner, a multi-axis sweep has
-    a *frontier*: no point on it is beaten on every objective at once
+    Deprecated shim over the optimizer-driven
+    :meth:`~repro.explore.engine.ExplorationEngine.explore`.  Where the
+    single-axis searches pick one winner, a multi-axis sweep has a
+    *frontier*: no point on it is beaten on every objective at once
     (by default: EKIT throughput up, limiting resource utilisation down).
     Returns the full sweep result plus the non-dominated entries.
     """

@@ -47,6 +47,7 @@ __all__ = [
     "DenseGrid",
     "CostJob",
     "build_jobs",
+    "iter_jobs",
     "linspace_clocks",
     "clock_range",
 ]
@@ -185,27 +186,43 @@ class DesignSpace:
     def __len__(self) -> int:
         return math.prod(self.axis_sizes().values())
 
-    def points(self) -> list[DesignPoint]:
-        """All design points, in deterministic sweep order."""
-        points = []
+    def iter_points(self):
+        """Lazily generate the design points, in deterministic sweep order.
+
+        Incremental consumers (the optimizer loop, partial-grid slices)
+        pull from this generator instead of materializing the full
+        cartesian product up front; :meth:`points` is its eager form.
+        """
         for lanes in self.lane_counts():
             for device in self.devices:
                 for clock in self.clocks_mhz:
                     for form in self.forms:
                         for pattern in self.patterns:
-                            points.append(
-                                DesignPoint(
-                                    kernel=self.kernel.name,
-                                    lanes=lanes,
-                                    grid=tuple(self.grid),
-                                    iterations=self.iterations,
-                                    clock_mhz=clock,
-                                    form=form,
-                                    device=device,
-                                    pattern=PatternKind(pattern),
-                                )
+                            yield DesignPoint(
+                                kernel=self.kernel.name,
+                                lanes=lanes,
+                                grid=tuple(self.grid),
+                                iterations=self.iterations,
+                                clock_mhz=clock,
+                                form=form,
+                                device=device,
+                                pattern=PatternKind(pattern),
                             )
-        return points
+
+    def points(self) -> list[DesignPoint]:
+        """All design points, in deterministic sweep order."""
+        return list(self.iter_points())
+
+    def subspace(self, **overrides) -> "DesignSpace":
+        """A copy of this space with some axes replaced.
+
+        The partial-grid helper behind arm construction (e.g. one
+        successive-halving arm per memory-execution form):
+        ``space.subspace(forms=("A",))``.
+        """
+        from dataclasses import replace
+
+        return replace(self, **overrides)
 
 
 def linspace_clocks(lo: float, hi: float, n: int) -> tuple[float, ...]:
@@ -332,8 +349,8 @@ class CostJob:
         return self.options if self.options is not None else self.point.compilation_options()
 
 
-def build_jobs(space: DesignSpace, lazy: bool = True) -> list[CostJob]:
-    """Lower a design space into cost jobs.
+def iter_jobs(space: DesignSpace, lazy: bool = True):
+    """Lazily lower a design space into cost jobs.
 
     Modules depend only on (kernel, lanes, grid), so one module — by
     default a lazy :class:`~repro.compiler.lanescale.LaneFamilyHandle`
@@ -341,12 +358,14 @@ def build_jobs(space: DesignSpace, lazy: bool = True) -> list[CostJob]:
     axes.  With ``lazy=False`` every lane count is eagerly lowered, which
     is what an N-point sweep used to pay; the estimation pipeline produces
     bit-identical reports either way.
+
+    A generator: an incremental consumer costing the grid in slices never
+    materializes jobs ahead of the round that needs them.
     """
     kernel = space.kernel
     workload = kernel.workload(tuple(space.grid), space.iterations)
     modules: dict[int, Module | LaneFamilyHandle] = {}
-    jobs = []
-    for point in space.points():
+    for point in space.iter_points():
         module = modules.get(point.lanes)
         if module is None:
             if lazy:
@@ -354,5 +373,9 @@ def build_jobs(space: DesignSpace, lazy: bool = True) -> list[CostJob]:
             else:
                 module = kernel.build_module(lanes=point.lanes, grid=tuple(space.grid))
             modules[point.lanes] = module
-        jobs.append(CostJob(point=point, module=module, workload=workload))
-    return jobs
+        yield CostJob(point=point, module=module, workload=workload)
+
+
+def build_jobs(space: DesignSpace, lazy: bool = True) -> list[CostJob]:
+    """Eagerly lower a design space into cost jobs (see :func:`iter_jobs`)."""
+    return list(iter_jobs(space, lazy=lazy))

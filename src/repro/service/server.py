@@ -68,7 +68,13 @@ from repro.resilience import (
 from repro.service.coalesce import CoalescedTask, RequestCoalescer
 from repro.substrate import get_device
 from repro.suite.report import canonical_json, canonical_json_line
-from repro.suite.runner import SuiteConfig, WorkloadSuite, build_suite_report
+from repro.suite.runner import (
+    SuiteConfig,
+    WorkloadSuite,
+    build_suite_report,
+    resolve_dse_params,
+    run_dse,
+)
 
 __all__ = [
     "BadRequestError",
@@ -156,7 +162,8 @@ class ExplorationService:
         self._queued = 0
         self._active = 0
         self.started = time.time()
-        self.requests = {"cost": 0, "suite": 0, "metrics": 0, "errors": 0}
+        self.requests = {"cost": 0, "suite": 0, "dse": 0, "metrics": 0,
+                         "errors": 0}
         self.sweeps = {"started": 0, "completed": 0}
 
     # ------------------------------------------------------------------
@@ -373,6 +380,77 @@ class ExplorationService:
     def _entry_event(index: int, entry: SweepEntry) -> dict:
         return {"event": "entry", "index": index, **entry.as_dict()}
 
+    # ------------------------------------------------------------------
+    # /dse — optimizer-driven design-space exploration
+    # ------------------------------------------------------------------
+    def lease_dse(self, spec: dict) -> tuple[CoalescedTask, str, dict]:
+        """Parse a ``/dse`` body; lease its coalesced task.
+
+        The body is a suite spec plus ``optimizer`` (name, default
+        ``"fmax"``) and ``params`` (optimizer knobs).  The fingerprint
+        covers the *resolved* parameters, so two requests differing only
+        in an omitted default coalesce onto the same search.
+        """
+        if not isinstance(spec, dict):
+            raise BadRequestError("body must be a JSON object")
+        spec = dict(spec)
+        # popped before fingerprinting — see :meth:`lease_cost`
+        deadline_seconds = spec.pop("deadline_seconds", None)
+        optimizer = spec.pop("optimizer", "fmax")
+        raw_params = spec.pop("params", None)
+        if not isinstance(optimizer, str):
+            raise BadRequestError("'optimizer' must be a string")
+        if raw_params is not None and not isinstance(raw_params, dict):
+            raise BadRequestError("'params' must be a JSON object")
+        try:
+            params = resolve_dse_params(optimizer, raw_params)
+        except ValueError as exc:
+            raise BadRequestError(str(exc)) from exc
+        config = suite_config_from_spec(spec)
+        key = _fingerprint("dse", {
+            "config": config.as_dict(),
+            "optimizer": {"name": optimizer, "params": params},
+        })
+        task, role = self.coalescer.lease(key)
+        return task, role, {"config": config, "optimizer": optimizer,
+                            "params": params,
+                            "deadline_seconds": deadline_seconds}
+
+    def run_dse(self, request: dict, publish) -> dict:
+        """Leader path of one ``/dse`` request.
+
+        Streams one ``round`` event per optimizer loop round through
+        ``publish`` (run label, round index, points proposed, the
+        optimizer's own note), then returns the final ``report`` event
+        with the canonical ``repro-dse-report/1`` payload — byte-identical
+        to what ``tybec suite dse`` writes for the same configuration.
+        """
+        config: SuiteConfig = request["config"]
+        deadline = self._deadline_for(request)
+        with self._slot():
+            deadline.check("dse request queued too long")
+            maybe_fail("service.handler")
+            with self._lock:
+                self.sweeps["started"] += 1
+
+            def _round(label: str, round_, entries) -> None:
+                event = {"event": "round", "run": label,
+                         **round_.as_dict()}
+                publish(event)
+
+            dse = run_dse(config, request["optimizer"],
+                          backend=self._backend, dense_backend=self._dense,
+                          params=request["params"], on_round=_round,
+                          deadline=deadline)
+            with self._lock:
+                self.sweeps["completed"] += 1
+        return {
+            "event": "report",
+            "kind": "dse",
+            "payload": dse.report.canonical_dict(),
+            "evaluated": dse.evaluated,
+        }
+
 
 # ----------------------------------------------------------------------
 # HTTP front end
@@ -467,6 +545,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             if self.path == "/suite":
                 self.service.count_request("suite")
                 task, role, request = self.service.lease_suite(spec)
+            elif self.path == "/dse":
+                self.service.count_request("dse")
+                task, role, request = self.service.lease_dse(spec)
             elif self.path == "/cost":
                 self.service.count_request("cost")
                 task, role, request = self.service.lease_cost(spec)
@@ -482,8 +563,12 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self._start_stream()
         self._stream_event({"event": "meta", "fingerprint": task.key,
                             "role": role})
-        runner = (self.service.run_suite if self.path == "/suite"
-                  else lambda req, publish: self.service.run_cost(req))
+        if self.path == "/suite":
+            runner = self.service.run_suite
+        elif self.path == "/dse":
+            runner = self.service.run_dse
+        else:
+            runner = lambda req, publish: self.service.run_cost(req)  # noqa: E731
         self._drive(task, role, request, runner)
         self._end_stream()
 

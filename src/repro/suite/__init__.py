@@ -20,6 +20,7 @@ first-class workflow on top of the exploration engine:
 """
 
 from repro.suite.report import (
+    DSE_SCHEMA,
     FLOAT_SIGNIFICANT_DIGITS,
     SCHEMA,
     SuiteReport,
@@ -28,7 +29,17 @@ from repro.suite.report import (
     load_report,
 )
 from repro.suite.diff import FieldDiff, diff_payloads, format_diffs
-from repro.suite.runner import SuiteConfig, SuiteRun, WorkloadSuite, tiny_grid
+from repro.suite.runner import (
+    DSE_OPTIMIZERS,
+    DseRun,
+    SuiteConfig,
+    SuiteRun,
+    WorkloadSuite,
+    build_dse_report,
+    resolve_dse_params,
+    run_dse,
+    tiny_grid,
+)
 from repro.suite.golden import (
     check_goldens,
     golden_config,
@@ -39,6 +50,12 @@ from repro.suite.golden import (
 
 __all__ = [
     "SCHEMA",
+    "DSE_SCHEMA",
+    "DSE_OPTIMIZERS",
+    "DseRun",
+    "run_dse",
+    "build_dse_report",
+    "resolve_dse_params",
     "FLOAT_SIGNIFICANT_DIGITS",
     "SuiteReport",
     "canonicalize",

@@ -27,6 +27,7 @@ __all__ = [
     "SCHEMA",
     "VALIDATION_SCHEMA",
     "FLOW_SCHEMA",
+    "DSE_SCHEMA",
     "KNOWN_SCHEMAS",
     "FLOAT_SIGNIFICANT_DIGITS",
     "canonicalize",
@@ -45,8 +46,13 @@ VALIDATION_SCHEMA = "repro-validation-report/1"
 #: schema stamp of the RTL flow report layout (see :mod:`repro.flows`)
 FLOW_SCHEMA = "repro-flow-report/1"
 
+#: schema stamp of the optimizer-driven DSE report layout (per-round
+#: provenance + each optimizer's own result summary; see
+#: :func:`repro.suite.runner.run_dse`)
+DSE_SCHEMA = "repro-dse-report/1"
+
 #: every canonical-report layout this codebase knows how to load and diff
-KNOWN_SCHEMAS = (SCHEMA, VALIDATION_SCHEMA, FLOW_SCHEMA)
+KNOWN_SCHEMAS = (SCHEMA, VALIDATION_SCHEMA, FLOW_SCHEMA, DSE_SCHEMA)
 
 #: significant digits kept for floats in canonical payloads
 FLOAT_SIGNIFICANT_DIGITS = 9

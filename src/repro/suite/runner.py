@@ -22,11 +22,12 @@ from repro.explore.engine import ExplorationEngine, SweepResult
 from repro.explore.space import DesignSpace, build_jobs
 from repro.kernels import REGISTRY, KernelWorkload, get_kernel
 from repro.models.streaming import PatternKind
-from repro.suite.report import SCHEMA, SuiteReport
+from repro.suite.report import DSE_SCHEMA, SCHEMA, SuiteReport
 from repro.substrate import get_device
 
 __all__ = ["SuiteConfig", "SuiteRun", "WorkloadSuite", "build_suite_report",
-           "tiny_grid"]
+           "tiny_grid", "DseRun", "run_dse", "build_dse_report",
+           "resolve_dse_params", "DSE_OPTIMIZERS"]
 
 
 def tiny_grid(default_grid: tuple[int, ...], cap: int = 8) -> tuple[int, ...]:
@@ -307,3 +308,170 @@ class WorkloadSuite:
                     "feasible": report["feasibility"]["feasible"],
                 })
         return rows
+
+
+# ----------------------------------------------------------------------
+# Optimizer-driven DSE over the suite grid
+# ----------------------------------------------------------------------
+
+#: the optimizers ``run_dse`` (and ``tybec suite dse`` / ``POST /dse``) accept
+DSE_OPTIMIZERS = ("exhaustive", "fmax", "halving", "surrogate")
+
+#: per-optimizer parameter defaults; also the set of *accepted* keys, so a
+#: typo'd parameter fails loudly instead of silently running the default
+_DSE_PARAM_DEFAULTS: dict[str, dict] = {
+    "exhaustive": {},
+    "fmax": {"resolution": 1.0, "probes_per_round": 3},
+    "halving": {"budget": 64, "eta": 2, "rung_points": 2},
+    "surrogate": {"keep_fraction": 0.1, "keep_min": 1},
+}
+
+
+def resolve_dse_params(optimizer: str, params: dict | None = None) -> dict:
+    """Validate and default-fill the parameters of one DSE optimizer.
+
+    The resolved dict is what the report (and the service's coalescing
+    fingerprint) embeds — two requests differing only in an omitted
+    default are the same search.
+    """
+    if optimizer not in DSE_OPTIMIZERS:
+        raise ValueError(
+            f"unknown optimizer {optimizer!r}; expected one of "
+            f"{', '.join(DSE_OPTIMIZERS)}")
+    resolved = dict(_DSE_PARAM_DEFAULTS[optimizer])
+    for key, value in (params or {}).items():
+        if key not in resolved:
+            raise ValueError(
+                f"optimizer {optimizer!r} has no parameter {key!r}; "
+                f"accepted: {sorted(resolved) or 'none'}")
+        resolved[key] = type(resolved[key])(value)
+    return resolved
+
+
+def _dse_optimizers(config: SuiteConfig, optimizer: str, params: dict,
+                    dense_backend=None) -> dict[str, object]:
+    """One named optimizer run per report slot.
+
+    Exhaustive/fmax/surrogate search each kernel independently (one run
+    per kernel); successive halving is inherently cross-kernel — its arms
+    *are* the kernels × forms — so it produces a single ``halving`` run.
+    """
+    from repro.explore.optimizer import (
+        ExhaustiveOptimizer,
+        FmaxBinarySearchOptimizer,
+        SuccessiveHalvingOptimizer,
+        SurrogatePrunedOptimizer,
+    )
+
+    spaces = {name: config.space_for(name)
+              for name in config.resolved_kernels()}
+    if optimizer == "halving":
+        arms = [(f"{name}:{form}", space.subspace(forms=(form,)))
+                for name, space in spaces.items()
+                for form in config.forms]
+        return {"halving": SuccessiveHalvingOptimizer(arms, **params)}
+    runs: dict[str, object] = {}
+    for name, space in spaces.items():
+        if optimizer == "exhaustive":
+            runs[name] = ExhaustiveOptimizer(space)
+        elif optimizer == "fmax":
+            runs[name] = FmaxBinarySearchOptimizer(space, **params)
+        else:
+            runs[name] = SurrogatePrunedOptimizer(
+                space, dense_backend=dense_backend, **params)
+    return runs
+
+
+@dataclass
+class DseRun:
+    """Outcome of one optimizer-driven DSE: canonical report + raw runs.
+
+    Like :class:`SuiteRun`, timing lives outside the report — the report
+    pins *what the search decided* (rounds, points, results), never how
+    long a round took.
+    """
+
+    report: SuiteReport
+    runs: dict
+    optimizer: str
+    params: dict
+    wall_seconds: float = 0.0
+
+    @property
+    def evaluated(self) -> int:
+        return sum(run.evaluated for run in self.runs.values())
+
+
+def build_dse_report(config: SuiteConfig, optimizer: str, params: dict,
+                     runs: dict) -> SuiteReport:
+    """Fold completed optimizer runs into the canonical DSE report.
+
+    Per-run payloads carry the round provenance (which round proposed how
+    many points) and the optimizer's own result summary; totals aggregate
+    across runs.  Deterministic by the same rules as the suite report —
+    no wall-clock fields, canonical float rounding at serialisation.
+    """
+    runs_payload: dict[str, dict] = {}
+    total_points = 0
+    total_rounds = 0
+    for label in sorted(runs):
+        run = runs[label]
+        total_points += run.evaluated
+        total_rounds += len(run.rounds)
+        runs_payload[label] = {
+            "rounds": run.rounds_payload(),
+            "evaluated": run.evaluated,
+            "result": run.result,
+        }
+    payload = {
+        "schema": DSE_SCHEMA,
+        "optimizer": {"name": optimizer, "params": params},
+        "config": config.as_dict(),
+        "runs": runs_payload,
+        "totals": {
+            "runs": len(runs_payload),
+            "rounds": total_rounds,
+            "points": total_points,
+        },
+    }
+    return SuiteReport(payload)
+
+
+def run_dse(config: SuiteConfig | None = None, optimizer: str = "fmax", *,
+            backend=None, dense_backend=None, params: dict | None = None,
+            on_round=None, deadline=None) -> DseRun:
+    """Drive one optimizer over the suite grid into a canonical DSE report.
+
+    The suite-level entry point behind ``tybec suite dse`` and the
+    service's ``POST /dse``: resolves the optimizer's parameters, builds
+    one optimizer per report slot (per kernel, or one cross-kernel
+    halving race), drives each through an
+    :class:`~repro.explore.engine.ExplorationEngine` on ``backend``, and
+    folds the runs into a ``repro-dse-report/1``.  ``on_round(label,
+    round, entries)`` fires after every loop round — the streaming hook.
+    ``dense_backend`` lets a long-lived caller (the service) share its
+    warm dense caches with surrogate prunes.
+    """
+    import time
+
+    config = config or SuiteConfig()
+    params = resolve_dse_params(optimizer, params)
+    optimizers = _dse_optimizers(config, optimizer, params,
+                                 dense_backend=dense_backend)
+    engine = ExplorationEngine(backend)
+    runs: dict[str, object] = {}
+    started = time.perf_counter()
+    for label in sorted(optimizers):
+        callback = None
+        if on_round is not None:
+            def callback(round_, entries, label=label):
+                on_round(label, round_, entries)
+        runs[label] = engine.run_optimizer(optimizers[label],
+                                           deadline=deadline,
+                                           on_round=callback)
+    wall = time.perf_counter() - started
+    report = build_dse_report(config, optimizer, params, runs)
+    return DseRun(report=report, runs=runs, optimizer=optimizer,
+                  params=params, wall_seconds=wall)
+
+

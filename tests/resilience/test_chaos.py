@@ -128,6 +128,43 @@ class TestPoolChaos:
         monkeypatch.delenv(FAULT_PLAN_ENV)
 
 
+class TestOptimizerChaos:
+    def test_worker_crashes_converge_to_the_fault_free_answer(
+            self, monkeypatch):
+        """The optimizer driver loop rides the pool's requeue machinery:
+        ~20% of workers dying mid-round must not change a byte of the
+        run's entries or the optimizer's conclusion."""
+        from repro.explore import (
+            DesignSpace,
+            ExhaustiveOptimizer,
+            ExplorationEngine,
+        )
+
+        def spaces():
+            return [DesignSpace(kernel=k, grid=(8, 8, 8), iterations=10,
+                                max_lanes=4) for k in ("sor", "matmul")]
+
+        golden = ExplorationEngine(SerialBackend()).run_optimizer(
+            ExhaustiveOptimizer(spaces()))
+        golden_dicts = golden.sweep().canonical_dicts()
+
+        plan = FaultPlan({"worker": {"rate": 0.2, "mode": "crash"}}, seed=2)
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.as_json())
+        backend = ProcessPoolBackend(
+            max_workers=2,
+            retry_policy=RetryPolicy(max_attempts=8, base_delay=0.01,
+                                     max_delay=0.1))
+        chaotic = ExplorationEngine(backend).run_optimizer(
+            ExhaustiveOptimizer(spaces()))
+        monkeypatch.delenv(FAULT_PLAN_ENV)
+
+        resilience = backend.collect_stats().get("resilience", {})
+        assert resilience.get("requeued_batches", 0) > 0, \
+            "seed crashed no workers; the test would be vacuous"
+        assert chaotic.sweep().canonical_dicts() == golden_dicts
+        assert chaotic.result == golden.result
+
+
 class TestCombinedChaos:
     def test_cache_and_worker_faults_together(self, golden_report, tmp_path):
         """The full acceptance plan: dying workers *and* a flaky cache."""
