@@ -61,12 +61,27 @@ Sub-commands mirror the flows of the paper:
 ``tybec client cost|suite|metrics|health``
     Talk to a running service: cost one ``.tirl`` design, run (or join)
     a suite sweep, or inspect the daemon's cache/queue metrics.
+
+``tybec trace summarize``
+    Aggregate a ``repro-trace/1`` NDJSON file (``--trace`` /
+    ``TYBEC_TRACE``) into per-site totals, the slowest spans and the
+    critical path.
+
+``tybec bench report``
+    Merge every ``benchmarks/results/BENCH_*.json`` artifact into one
+    trend table: per benchmark, the headline metrics, their gates and
+    whether the stored measurement passes.
+
+Global flags (before the sub-command): ``--trace PATH`` writes a
+structured span trace of the whole invocation; ``--log-level LEVEL``
+turns on run-id-correlated logging to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -101,6 +116,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="tybec",
         description="TyTra back-end compiler and cost model (paper reproduction)",
     )
+    parser.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                        help="write a structured repro-trace/1 NDJSON span "
+                             "trace of this invocation to PATH (equivalent "
+                             "to TYBEC_TRACE=PATH)")
+    parser.add_argument("--log-level", default=None, metavar="LEVEL",
+                        choices=["debug", "info", "warning", "error",
+                                 "critical"],
+                        help="enable run-id-correlated logging to stderr at "
+                             "LEVEL")
     sub = parser.add_subparsers(dest="command", required=True)
 
     cost = sub.add_parser("cost", help="cost a TyTra-IR design variant")
@@ -445,6 +469,44 @@ def build_parser() -> argparse.ArgumentParser:
 
     client_sub.add_parser("metrics", help="print the daemon's /metrics payload")
     client_sub.add_parser("health", help="probe the daemon's /healthz endpoint")
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="analyse structured span traces",
+        description="Work with repro-trace/1 NDJSON files produced by "
+                    "--trace / TYBEC_TRACE.",
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    trace_sum = trace_sub.add_parser(
+        "summarize",
+        help="aggregate a trace: per-site totals, slowest spans, "
+             "critical path")
+    trace_sum.add_argument("path", type=Path,
+                           help="path to the repro-trace/1 NDJSON file")
+    trace_sum.add_argument("--top", type=int, default=10, metavar="K",
+                           help="slowest spans to show (default: 10)")
+    trace_sum.add_argument("--json", action="store_true",
+                           help="print the summary as JSON")
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="report on stored benchmark artifacts",
+        description="The benchmark suite writes its measurements to "
+                    "benchmarks/results/BENCH_*.json; this merges them "
+                    "into one trend table.",
+    )
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+    bench_report = bench_sub.add_parser(
+        "report",
+        help="merge every BENCH_*.json into one trend table "
+             "(metric, gate, measured value)")
+    bench_report.add_argument("--dir", type=Path, default=None, metavar="DIR",
+                              help="results directory "
+                                   "(default: benchmarks/results)")
+    bench_report.add_argument("--json", action="store_true",
+                              help="print the rows as JSON")
+    bench_report.add_argument("--strict", action="store_true",
+                              help="exit non-zero when any gate fails")
 
     return parser
 
@@ -1469,6 +1531,53 @@ def _cmd_stream_bench(args) -> int:
     return 0
 
 
+def _cmd_trace_summarize(args) -> int:
+    from repro.obs.trace import format_trace_summary, load_trace, summarize_trace
+
+    try:
+        header, records = load_trace(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    summary = summarize_trace(records, top=args.top)
+    if args.json:
+        print(json.dumps({"header": header, **summary}, indent=2,
+                         sort_keys=True))
+        return 0
+    print(f"trace {header.get('trace_id', '?')} at {args.path}")
+    print(format_trace_summary(summary))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    return {"summarize": _cmd_trace_summarize}[args.trace_command](args)
+
+
+def _cmd_bench_report(args) -> int:
+    from repro.obs.bench import (
+        DEFAULT_RESULTS_DIR,
+        collect_bench_metrics,
+        format_bench_table,
+    )
+
+    results_dir = args.dir if args.dir is not None else DEFAULT_RESULTS_DIR
+    if not results_dir.is_dir():
+        print(f"no benchmark results directory at {results_dir} "
+              f"(run the benchmarks/ suite first)", file=sys.stderr)
+        return 2
+    rows = collect_bench_metrics(results_dir)
+    failing = [row for row in rows if row.ok is False]
+    if args.json:
+        print(json.dumps([row.as_dict() for row in rows], indent=2))
+    else:
+        print(format_bench_table(rows))
+    return 1 if args.strict and failing else 0
+
+
+def _cmd_bench(args) -> int:
+    return {"report": _cmd_bench_report}[args.bench_command](args)
+
+
 _COMMANDS = {
     "cost": _cmd_cost,
     "emit": _cmd_emit,
@@ -1480,12 +1589,34 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "serve": _cmd_serve,
     "client": _cmd_client,
+    "trace": _cmd_trace,
+    "bench": _cmd_bench,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.obs.logs import parse_level, setup_logging
+    from repro.obs.trace import TRACE_ENV, activate_from_env, uninstall_tracer
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    if args.log_level:
+        setup_logging(parse_level(args.log_level))
+    prior_env = os.environ.get(TRACE_ENV)
+    if args.trace is not None:
+        # the env var is the single activation path (workers and library
+        # code read it too); the flag just sets it for this invocation
+        os.environ[TRACE_ENV] = str(args.trace)
+    tracer = activate_from_env()
+    try:
+        return _COMMANDS[args.command](args)
+    finally:
+        if tracer is not None:
+            uninstall_tracer()
+        if args.trace is not None:
+            if prior_env is None:
+                os.environ.pop(TRACE_ENV, None)
+            else:
+                os.environ[TRACE_ENV] = prior_env
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -86,6 +86,7 @@ from repro.cost.resource_model import ModuleResourceEstimate, ModuleStructure, R
 from repro.cost.throughput import EKITParameters, estimate_throughput
 from repro.ir import parse_module
 from repro.ir.functions import Module
+from repro.obs.trace import span as trace_span
 from repro.ir.validator import validate_module
 from repro.models.execution import KernelInstance
 from repro.models.memory_execution import (
@@ -420,7 +421,8 @@ class CalibrationStage:
                     value = memory_cache[memory_key]
                 return value, False
             stats.bump("disk_misses")
-        value = compute()
+        with trace_span("pipeline.calibrate", token=disk_token[0]):
+            value = compute()
         with _CALIBRATION_LOCK:
             memory_cache.setdefault(memory_key, value)
             value = memory_cache[memory_key]
@@ -503,8 +505,9 @@ class ParseStage:
             return module
         stats.bump("parse_misses")
         started = time.perf_counter()
-        module = parse_module(text, name=name)
-        validate_module(module)
+        with trace_span("pipeline.parse", design=name):
+            module = parse_module(text, name=name)
+            validate_module(module)
         self._cache.put(key, module)
         stats.add_time("parse", time.perf_counter() - started)
         return module
@@ -565,7 +568,8 @@ class AnalysisStage:
 
         bundle = _STRUCTURAL_CACHE.get((content, lat_key))
         if bundle is None:
-            bundle = self._structural_bundle(module, content, lat_key, options, stats)
+            with trace_span("pipeline.analyze", design=module.name):
+                bundle = self._structural_bundle(module, content, lat_key, options, stats)
             _STRUCTURAL_CACHE.put((content, lat_key), bundle)
         structure, tree, classification, schedules, family = bundle
         if family is not None and recipe_token is not None:
@@ -815,8 +819,9 @@ class ResourceStage:
 
         stats.bump("resource_misses")
         started = time.perf_counter()
-        estimator = ResourceEstimator(calibration.cost_db)
-        estimate = self._compute(variant, estimator, options, calibration)
+        with trace_span("pipeline.resource", design=variant.name):
+            estimator = ResourceEstimator(calibration.cost_db)
+            estimate = self._compute(variant, estimator, options, calibration)
         # the estimation flow of Figure 11 also accounts for the data/control
         # delay lines the scheduler implies (pipeline balancing registers),
         # replicated once per lane
@@ -1002,21 +1007,24 @@ class EstimationPipeline:
         calibration = self.calibrate()
         stats = self.stats
 
-        started = time.perf_counter()
-        if isinstance(module, str):
-            module = self.parse(module)
-        variant = self.analyze(module)
-        estimate = self._resource.run(variant, calibration, self.options, stats)
-        mark = time.perf_counter()
-        params, selection = self._throughput.extract_parameters(
-            variant, workload, pattern, self.options, calibration
-        )
-        throughput = estimate_throughput(params, selection.form)
-        stats.add_time("throughput", time.perf_counter() - mark)
-        mark = time.perf_counter()
-        feasibility = self._feasibility.run(estimate, params, selection.form, self.options)
-        stats.add_time("feasibility", time.perf_counter() - mark)
-        elapsed = time.perf_counter() - started
+        with trace_span("pipeline.cost") as _sp:
+            started = time.perf_counter()
+            if isinstance(module, str):
+                module = self.parse(module)
+            variant = self.analyze(module)
+            estimate = self._resource.run(variant, calibration, self.options, stats)
+            mark = time.perf_counter()
+            params, selection = self._throughput.extract_parameters(
+                variant, workload, pattern, self.options, calibration
+            )
+            throughput = estimate_throughput(params, selection.form)
+            stats.add_time("throughput", time.perf_counter() - mark)
+            mark = time.perf_counter()
+            feasibility = self._feasibility.run(estimate, params, selection.form, self.options)
+            stats.add_time("feasibility", time.perf_counter() - mark)
+            elapsed = time.perf_counter() - started
+            if _sp is not None:
+                _sp.attrs["design"] = variant.name
 
         return CostReport(
             design=variant.name,

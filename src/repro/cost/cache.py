@@ -31,6 +31,7 @@ entries per namespace.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
@@ -41,7 +42,11 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from pathlib import Path
 
+from repro.obs.logs import get_logger, log_event
+from repro.obs.trace import span as trace_span
 from repro.resilience import COUNTERS, InjectedFault, maybe_fail
+
+_LOG = get_logger("cache")
 
 __all__ = [
     "BoundedCache",
@@ -205,6 +210,13 @@ class DiskCache:
     # ------------------------------------------------------------------
     def get(self, namespace: str, token):
         """Load one entry, or None on miss/corruption/schema mismatch."""
+        with trace_span("cache.get", namespace=namespace) as sp:
+            value = self._get(namespace, token)
+            if sp is not None:
+                sp.attrs["outcome"] = "miss" if value is None else "hit"
+            return value
+
+    def _get(self, namespace: str, token):
         path = self._entry_path(namespace, token)
         try:
             # before the decode path, so an injected read fault becomes a
@@ -230,7 +242,7 @@ class DiskCache:
             with self._lock:
                 self.misses += 1
             return None
-        except Exception:
+        except Exception as exc:
             # torn, corrupt or incompatible entry: a miss, and a strike.
             # A single failure may be a transient fs hiccup (the entry is
             # left alone — a concurrent writer is about to replace it
@@ -247,6 +259,16 @@ class DiskCache:
                         self.quarantined += 1
                         self._decode_failures.pop(str(path), None)
                     COUNTERS.bump("cache.quarantined")
+                    log_event(
+                        _LOG,
+                        "cache.quarantined",
+                        level=logging.WARNING,
+                        site="cache.get",
+                        namespace=namespace,
+                        key=path.name,
+                        cause=f"{type(exc).__name__}: {exc}",
+                        strikes=strikes,
+                    )
                 except OSError:
                     pass
             return None
@@ -257,6 +279,10 @@ class DiskCache:
 
     def put(self, namespace: str, token, value) -> None:
         """Persist one entry (atomic rename; failures are non-fatal)."""
+        with trace_span("cache.put", namespace=namespace):
+            self._put(namespace, token, value)
+
+    def _put(self, namespace: str, token, value) -> None:
         path = self._entry_path(namespace, token)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -323,13 +349,23 @@ class DiskCache:
         except OSError:
             return
         for path in orphans:
-            if now - self._mtime_or_zero(path) < self.ORPHAN_TMP_AGE:
+            age = now - self._mtime_or_zero(path)
+            if age < self.ORPHAN_TMP_AGE:
                 continue
             try:
                 path.unlink()
                 with self._lock:
                     self.orphans_removed += 1
                 COUNTERS.bump("cache.orphans_removed")
+                log_event(
+                    _LOG,
+                    "cache.orphan_removed",
+                    site="cache.sweep",
+                    namespace=namespace_dir.name,
+                    key=path.name,
+                    cause="stale tmp left by a dead writer",
+                    age_seconds=round(age, 3),
+                )
             except OSError:
                 pass
 

@@ -68,6 +68,7 @@ from repro.explore.engine import (
     pareto_frontier,
 )
 from repro.explore.space import DenseGrid, DesignSpace, _form_value
+from repro.obs.trace import span as trace_span
 from repro.models.memory_execution import FormSelection
 from repro.models.streaming import PatternKind
 from repro.substrate.fpga_device import FPGADevice
@@ -514,11 +515,13 @@ class DenseBackend:
 
         contexts: list[_DeviceContext] = []
         groups: dict[tuple[int, int, int], _Group] = {}
-        if grid.lanes:
-            for di, device in enumerate(grid.devices):
-                ctx = self._context(kernel, grid, device)
-                contexts.append(ctx)
-                self._evaluate_groups(ctx, di, grid, workload, groups)
+        with trace_span("backend.dense.sweep", kernel=kernel.name,
+                        points=len(grid)):
+            if grid.lanes:
+                for di, device in enumerate(grid.devices):
+                    ctx = self._context(kernel, grid, device)
+                    contexts.append(ctx)
+                    self._evaluate_groups(ctx, di, grid, workload, groups)
         wall = time.perf_counter() - started
         sweep = DenseSweep(grid, workload, contexts, groups, wall,
                            stats_cb=self.collect_stats)

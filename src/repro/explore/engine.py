@@ -49,6 +49,15 @@ from repro.compiler.pipeline import (
 from repro.cost.cache import env_int
 from repro.cost.report import CostReport
 from repro.explore.space import CostJob, DesignPoint, DesignSpace
+from repro.obs.trace import (
+    WORKER_SPANS_KEY,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    span as trace_span,
+    uninstall_tracer,
+    worker_trace_context,
+)
 from repro.resilience import (
     COUNTERS,
     Deadline,
@@ -180,6 +189,15 @@ class SerialBackend:
         ``deadline`` is checked between points (and before each retry);
         transient per-job failures retry under :attr:`retry_policy`.
         """
+        with trace_span("backend.serial.batch", jobs=len(jobs)):
+            return self._run(jobs, progress, deadline)
+
+    def _run(
+        self,
+        jobs: Sequence[CostJob],
+        progress: Callable[[int, CostReport], None] | None,
+        deadline: Deadline | None,
+    ) -> list[CostReport]:
         reports = []
         for index, job in enumerate(jobs):
             if deadline is not None:
@@ -220,10 +238,13 @@ def _evaluate_batch(payload) -> tuple[list[tuple[int, CostReport]], dict]:
     pickled options (see :meth:`ProcessPoolBackend._payloads`), are
     shared process-wide, and warm-start from the persistent store
     otherwise.  The worker ships its cache statistics back alongside the
-    reports so the parent can aggregate a sweep-wide picture.
+    reports so the parent can aggregate a sweep-wide picture — and, when
+    the parent is tracing, its spans ride the same channel under
+    :data:`WORKER_SPANS_KEY` (workers never touch the trace file).
     """
     options, batch, shared_default, *rest = payload
     epoch = rest[0] if rest else 0
+    trace_ctx = rest[1] if len(rest) > 1 else None
     # the fault-injection site for "this worker invocation dies": salted
     # with the requeue epoch so a respawned pool (whose fresh processes
     # restart the plan's call counters) draws a *different* schedule and
@@ -234,11 +255,27 @@ def _evaluate_batch(payload) -> tuple[list[tuple[int, CostReport]], dict]:
         # seed this worker's process-wide caches so they are recognised
         # as shared (enabling the cross-session resource/family caches)
         adopt_shared_calibration(options)
-    pipeline = EstimationPipeline(options)
-    results = []
-    for index, module, workload, pattern in batch:
-        results.append((index, pipeline.cost(module, workload, pattern)))
-    return results, pipeline.stats.as_dict()
+    worker_tracer = None
+    if trace_ctx is not None:
+        # collect-only tracer rooted under the parent's pool-batch span
+        worker_tracer = install_tracer(
+            Tracer(trace_id=trace_ctx[0], collect=True, root_parent=trace_ctx[1])
+        )
+    try:
+        pipeline = EstimationPipeline(options)
+        results = []
+        with trace_span("worker.batch", points=len(batch), epoch=epoch):
+            for index, module, workload, pattern in batch:
+                results.append((index, pipeline.cost(module, workload, pattern)))
+    finally:
+        if worker_tracer is not None:
+            uninstall_tracer()
+    stats = pipeline.stats.as_dict()
+    if worker_tracer is not None:
+        spans = worker_tracer.drain()
+        if spans:
+            stats[WORKER_SPANS_KEY] = spans
+    return results, stats
 
 
 class ProcessPoolBackend:
@@ -298,6 +335,13 @@ class ProcessPoolBackend:
         if not jobs:
             self._last_stats = {}
             return []
+        with trace_span("backend.pool.batch", jobs=len(jobs),
+                        workers=self.max_workers) as pool_span:
+            return self._run(jobs, deadline, pool_span)
+
+    def _run(self, jobs: Sequence[CostJob], deadline: Deadline | None,
+             pool_span) -> list[CostReport]:
+        trace_ctx = worker_trace_context(pool_span)
         payloads = self._payloads(jobs)
         reports: list[CostReport | None] = [None] * len(jobs)
         worker_stats: list[dict] = []
@@ -315,7 +359,9 @@ class ProcessPoolBackend:
             executor = ProcessPoolExecutor(max_workers=self.max_workers)
             try:
                 futures = {
-                    executor.submit(_evaluate_batch, (*payloads[i], epoch)): i
+                    executor.submit(
+                        _evaluate_batch, (*payloads[i], epoch, trace_ctx)
+                    ): i
                     for i in pending
                 }
                 remaining = set(futures)
@@ -339,6 +385,14 @@ class ProcessPoolBackend:
                             failed.append(index)
                             last_error = exc
                             continue
+                        spans = stats.pop(WORKER_SPANS_KEY, None)
+                        if spans:
+                            # worker spans ride home with the stats; strip
+                            # them before merge_stats (which sums numeric
+                            # leaves) and re-emit into the parent's trace
+                            tracer = current_tracer()
+                            if tracer is not None:
+                                tracer.emit_foreign(spans)
                         worker_stats.append(stats)
                         for job_index, report in batch_results:
                             reports[job_index] = report

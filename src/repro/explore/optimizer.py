@@ -53,6 +53,7 @@ from itertools import islice
 from typing import Callable, Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.explore.engine import SweepEntry, SweepResult
+from repro.obs.trace import span as trace_span
 from repro.explore.space import (
     CostJob,
     DesignPoint,
@@ -216,11 +217,14 @@ def drive_optimizer(
         if not batch:
             break
         started = time.perf_counter()
-        round_entries = evaluate(batch)
-        for entry in round_entries:
-            optimizer.process_outcome(entry.point, entry)
-        note_fn = getattr(optimizer, "round_note", None)
-        note = note_fn() if callable(note_fn) else ""
+        with trace_span("optimizer.round", index=index, points=len(batch)) as sp:
+            round_entries = evaluate(batch)
+            for entry in round_entries:
+                optimizer.process_outcome(entry.point, entry)
+            note_fn = getattr(optimizer, "round_note", None)
+            note = note_fn() if callable(note_fn) else ""
+            if sp is not None and note:
+                sp.attrs["note"] = note
         round_ = OptimizerRound(index=index, points=len(batch),
                                 wall_seconds=time.perf_counter() - started,
                                 note=note)

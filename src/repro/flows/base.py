@@ -37,6 +37,8 @@ from repro.compiler.codegen.verilog import VerilogGenerator
 from repro.compiler.scheduling import OperatorLatencyModel
 from repro.cost.cache import default_disk_cache
 from repro.ir.functions import IRFunction, Module, StreamDirection
+from repro.obs.profile import maybe_profile
+from repro.obs.trace import span as trace_span
 
 __all__ = ["FlowSettings", "FlowResult", "Flow", "SimFlow", "SynthFlow"]
 
@@ -125,7 +127,8 @@ class Flow:
         """Time one stage of execute() into :attr:`stage_seconds`."""
         started = time.perf_counter()
         try:
-            yield
+            with trace_span("flow.stage", flow=self.name, stage=name):
+                yield
         finally:
             self.stage_seconds[name] = (
                 self.stage_seconds.get(name, 0.0)
@@ -205,6 +208,15 @@ class Flow:
     # -- the run protocol ------------------------------------------------
     def run(self) -> FlowResult:
         """Execute the flow (or serve it from the persistent cache)."""
+        with trace_span("flow.run", flow=self.name,
+                        design=self.module.name) as sp, \
+                maybe_profile(f"flow.{self.name}"):
+            result = self._run_flow()
+            if sp is not None:
+                sp.attrs["cached"] = result.cached
+            return result
+
+    def _run_flow(self) -> FlowResult:
         started = time.perf_counter()
         token = self.cache_token()
         cache = default_disk_cache() if self.settings.use_cache else None

@@ -9,12 +9,15 @@ crash deep inside ``subprocess``.
 
 from __future__ import annotations
 
+import logging
 import shutil
 import subprocess
 import time
 from dataclasses import dataclass
 
 from repro.cost.cache import env_int
+from repro.obs.logs import get_logger, log_event
+from repro.obs.trace import span as trace_span
 from repro.resilience import (
     COUNTERS,
     Deadline,
@@ -22,6 +25,8 @@ from repro.resilience import (
     TransientError,
     maybe_fail,
 )
+
+_LOG = get_logger("flows.tools")
 
 __all__ = [
     "ToolUnavailableError",
@@ -127,6 +132,16 @@ def run_tool(argv: list[str], cwd=None, timeout: float = 300.0,
     here — a deterministic tool that timed out once will time out again,
     and exit codes are the caller's domain knowledge.
     """
+    tool = argv[0] if argv else "tool"
+    with trace_span("tool.run", tool=tool) as sp:
+        result = _run_tool(argv, cwd, timeout, deadline, retry_policy)
+        if sp is not None:
+            sp.attrs["returncode"] = result.returncode
+            sp.attrs["attempts"] = result.attempts
+        return result
+
+
+def _run_tool(argv, cwd, timeout, deadline, retry_policy) -> ToolResult:
     argv_t = tuple(argv)
     policy = retry_policy or DEFAULT_TOOL_POLICY
     effective = timeout if deadline is None else deadline.clip(timeout)
@@ -148,6 +163,15 @@ def run_tool(argv: list[str], cwd=None, timeout: float = 300.0,
                 attempts=attempt + 1,
             )
         except subprocess.TimeoutExpired as exc:
+            log_event(
+                _LOG,
+                "tool.timeout",
+                level=logging.WARNING,
+                site="tool.run",
+                key=argv_t[0] if argv_t else "",
+                cause=f"timed out after {effective:.1f}s",
+                attempt=attempt + 1,
+            )
             return ToolResult(
                 argv_t, returncode=-1,
                 stdout=_decode(exc.stdout), stderr=_decode(exc.stderr),
@@ -157,6 +181,15 @@ def run_tool(argv: list[str], cwd=None, timeout: float = 300.0,
                 attempts=attempt + 1,
             )
         except (TransientError, OSError) as exc:
+            log_event(
+                _LOG,
+                "tool.crashed",
+                level=logging.WARNING,
+                site="tool.run",
+                key=argv_t[0] if argv_t else "",
+                cause=f"{type(exc).__name__}: {exc}",
+                attempt=attempt + 1,
+            )
             last = ToolResult(
                 argv_t, returncode=-1, stdout="", stderr="",
                 error=f"{type(exc).__name__}: {exc}",
@@ -172,6 +205,14 @@ def run_tool(argv: list[str], cwd=None, timeout: float = 300.0,
                 if pause > 0:
                     time.sleep(pause)
     if last is None:
+        log_event(
+            _LOG,
+            "tool.deadline_expired",
+            level=logging.WARNING,
+            site="tool.run",
+            key=argv_t[0] if argv_t else "",
+            cause="deadline expired before the tool could run",
+        )
         last = ToolResult(
             argv_t, returncode=-1, stdout="", stderr="",
             error="deadline expired before the tool could run",

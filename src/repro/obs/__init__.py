@@ -1,0 +1,84 @@
+"""Unified observability: tracing, metrics, structured logging, profiling.
+
+This package is deliberately stdlib-only and imports nothing from the rest
+of ``repro`` so every layer (compiler, cost, explore, flows, service) can
+instrument itself without creating import cycles.
+
+Three pillars:
+
+- ``repro.obs.trace`` — structured spans with a context-manager API,
+  exported as ``repro-trace/1`` NDJSON (``TYBEC_TRACE=/path`` or
+  ``tybec --trace``).
+- ``repro.obs.metrics`` — a single thread-safe :class:`MetricsRegistry`
+  (labeled counters / gauges / histograms) with Prometheus text
+  exposition, plus bridges for the pre-existing ad-hoc stat surfaces.
+- ``repro.obs.logs`` — run-id and trace-id correlated stdlib logging.
+- ``repro.obs.profile`` — opt-in per-stage cProfile dumps
+  (``TYBEC_PROFILE_DIR=/path``).
+
+The cardinal invariant: nothing in this package ever writes into a
+canonical report payload.  Spans, metrics, and logs ride on side
+channels only, so golden reports stay byte-identical whether or not
+telemetry is enabled.
+"""
+
+from .logs import get_logger, log_event, setup_logging
+from .metrics import (
+    MetricSample,
+    MetricsRegistry,
+    render_prometheus,
+    samples_from_counter_snapshot,
+    samples_from_disk_cache_stats,
+    samples_from_pipeline_stats,
+    samples_from_service_metrics,
+)
+from .profile import PROFILE_ENV, maybe_profile
+from .trace import (
+    TRACE_ENV,
+    TRACE_SCHEMA,
+    WORKER_SPANS_KEY,
+    Tracer,
+    activate_from_env,
+    current_trace_id,
+    current_tracer,
+    format_trace_summary,
+    install_tracer,
+    load_trace,
+    new_trace_id,
+    span,
+    summarize_trace,
+    uninstall_tracer,
+    validate_trace,
+    worker_trace_context,
+)
+
+__all__ = [
+    "MetricSample",
+    "MetricsRegistry",
+    "PROFILE_ENV",
+    "TRACE_ENV",
+    "TRACE_SCHEMA",
+    "WORKER_SPANS_KEY",
+    "Tracer",
+    "activate_from_env",
+    "current_trace_id",
+    "current_tracer",
+    "format_trace_summary",
+    "get_logger",
+    "install_tracer",
+    "load_trace",
+    "log_event",
+    "maybe_profile",
+    "new_trace_id",
+    "render_prometheus",
+    "samples_from_counter_snapshot",
+    "samples_from_disk_cache_stats",
+    "samples_from_pipeline_stats",
+    "samples_from_service_metrics",
+    "setup_logging",
+    "span",
+    "summarize_trace",
+    "uninstall_tracer",
+    "validate_trace",
+    "worker_trace_context",
+]

@@ -1,0 +1,98 @@
+"""Run-id and trace-id correlated structured logging on stdlib logging.
+
+Every logger lives under the ``tybec`` namespace.  :func:`setup_logging`
+(wired to ``tybec --log-level`` and service startup) attaches a single
+stderr handler whose formatter stamps each record with a per-process run
+id and, when tracing is active, the current trace id — so a log line, a
+span, and a service request can all be joined on one identifier.
+
+:func:`log_event` renders structured events as ``event key=value ...``
+with sorted keys, which keeps grep/awk pipelines and log-indexing both
+trivial and deterministic.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import uuid
+from typing import Any, TextIO
+
+from .trace import current_trace_id
+
+#: One id per process; correlates every log line of a run.
+RUN_ID = uuid.uuid4().hex[:12]
+
+ROOT_LOGGER_NAME = "tybec"
+
+LOG_FORMAT = (
+    "%(asctime)s %(levelname).1s %(name)s run=%(run_id)s trace=%(trace_id)s %(message)s"
+)
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+
+class _ContextFilter(logging.Filter):
+    """Injects run_id / trace_id fields into every record."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.run_id = RUN_ID
+        record.trace_id = current_trace_id() or "-"
+        return True
+
+
+def get_logger(name: str) -> logging.Logger:
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def parse_level(level: str | int) -> int:
+    if isinstance(level, int):
+        return level
+    try:
+        return _LEVELS[level.strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {sorted(_LEVELS)}"
+        ) from None
+
+
+def setup_logging(level: str | int = "warning", stream: TextIO | None = None) -> logging.Logger:
+    """Configure the ``tybec`` logger tree; idempotent per stream."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(parse_level(level))
+    root.propagate = False
+    target = stream if stream is not None else sys.stderr
+    for handler in root.handlers:
+        if getattr(handler, "_tybec_handler", False) and getattr(
+            handler, "stream", None
+        ) is target:
+            return root
+    handler = logging.StreamHandler(target)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT))
+    handler.addFilter(_ContextFilter())
+    handler._tybec_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    return root
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    *,
+    level: int = logging.INFO,
+    **fields: Any,
+) -> None:
+    """Emit ``event key=value ...`` with deterministically sorted keys."""
+    if not logger.isEnabledFor(level):
+        return
+    if fields:
+        rendered = " ".join(f"{key}={fields[key]}" for key in sorted(fields))
+        logger.log(level, "%s %s", event, rendered)
+    else:
+        logger.log(level, "%s", event)

@@ -1,0 +1,45 @@
+"""Opt-in per-stage cProfile dumps, gated by ``TYBEC_PROFILE_DIR``.
+
+Set ``TYBEC_PROFILE_DIR=/some/dir`` and the coarse stage sites (suite
+sweep, DSE run, flow run) each dump a ``.prof`` file
+named ``<site>-<pid>-<n>.prof`` into that directory; inspect with
+``python -m pstats`` or snakeviz.  With the variable unset, the hook is
+a no-yield passthrough costing one environment lookup.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+PROFILE_ENV = "TYBEC_PROFILE_DIR"
+
+_COUNTER = itertools.count(1)
+
+
+def _profile_path(directory: str, site: str) -> Path:
+    safe = site.replace(os.sep, "_").replace(".", "-")
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    return root / f"{safe}-{os.getpid()}-{next(_COUNTER)}.prof"
+
+
+@contextmanager
+def maybe_profile(site: str) -> Iterator[object | None]:
+    """Profile the enclosed block when ``TYBEC_PROFILE_DIR`` is set."""
+    directory = os.environ.get(PROFILE_ENV)
+    if not directory:
+        yield None
+        return
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        profiler.dump_stats(str(_profile_path(directory, site)))

@@ -31,12 +31,18 @@ daemon restarts.  The recovery rules live here, shared by every layer:
 from __future__ import annotations
 
 import hashlib
+import logging
 import math
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
 import threading
+
+from repro.obs.logs import get_logger, log_event
+from repro.obs.metrics import samples_from_counter_snapshot
+
+_LOG = get_logger("resilience")
 
 __all__ = [
     "COUNTERS",
@@ -251,6 +257,16 @@ class RetryPolicy:
                     break
                 COUNTERS.bump("retries")
                 COUNTERS.bump(f"retries.{key or what}")
+                log_event(
+                    _LOG,
+                    "retry",
+                    level=logging.DEBUG,
+                    site="retry_policy",
+                    key=key or what,
+                    cause=f"{type(exc).__name__}: {exc}",
+                    attempt=attempt + 1,
+                    budget=self.max_attempts,
+                )
                 if on_retry is not None:
                     on_retry(attempt, exc)
                 pause = self.delay(attempt, key)
@@ -291,6 +307,15 @@ class ResilienceCounters:
         """Zero every counter (test isolation; never called in production)."""
         with self._lock:
             self._counts.clear()
+
+    def metric_samples(self):
+        """This surface as registry samples (``tybec_resilience_events_total``).
+
+        The bridge a :class:`~repro.obs.metrics.MetricsRegistry` collector
+        registers so Prometheus exposition covers these counters without
+        the hot ``bump`` path ever touching the registry.
+        """
+        return samples_from_counter_snapshot(self.snapshot())
 
 
 #: the process-wide resilience counters

@@ -19,8 +19,9 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from repro.obs.trace import current_trace_id
 from repro.resilience import RetryBudgetExceededError, RetryPolicy
-from repro.service.server import DEFAULT_PORT
+from repro.service.server import DEFAULT_PORT, TRACE_HEADER
 
 __all__ = ["ServiceClient", "ServiceError", "ServiceResponse"]
 
@@ -70,6 +71,11 @@ class ServiceClient:
     def _request(self, method: str, path: str, body: dict | None = None):
         payload = None if body is None else json.dumps(body)
         headers = {"Content-Type": "application/json"} if payload else {}
+        trace_id = current_trace_id()
+        if trace_id:
+            # propagate the active trace so the server's request span (and
+            # every streamed event it stamps) joins this client's trace
+            headers[TRACE_HEADER] = trace_id
 
         def _attempt(attempt: int):
             conn = http.client.HTTPConnection(self.host, self.port,

@@ -42,12 +42,17 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import threading
 import time
 from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from repro.compiler.pipeline import CompilationOptions, EstimationPipeline
+from repro.obs.logs import get_logger, log_event
+from repro.obs.metrics import MetricsRegistry, samples_from_service_metrics
+from repro.obs.trace import span as trace_span
 from repro.explore.dense import DenseBackend
 from repro.explore.engine import (
     SerialBackend,
@@ -85,6 +90,17 @@ __all__ = [
 ]
 
 DEFAULT_PORT = 8731
+
+#: request header that carries a client's trace id into the service (and
+#: is stamped back onto every NDJSON event of the response stream)
+TRACE_HEADER = "X-Tybec-Trace"
+
+#: endpoints with their own latency-histogram label; anything else is
+#: folded into "other" so hostile paths cannot explode label cardinality
+_KNOWN_ENDPOINTS = ("/healthz", "/metrics", "/suite", "/dse", "/cost")
+
+_LOG = get_logger("service")
+_ACCESS_LOG = get_logger("service.access")
 
 
 class BadRequestError(ValueError):
@@ -165,6 +181,18 @@ class ExplorationService:
         self.requests = {"cost": 0, "suite": 0, "dse": 0, "metrics": 0,
                          "errors": 0}
         self.sweeps = {"started": 0, "completed": 0}
+        #: the one registry every stat surface is exposed through; the
+        #: JSON ``/metrics`` payload keeps its shape, and the Prometheus
+        #: rendering adapts that same payload at scrape time
+        self.registry = MetricsRegistry()
+        self.request_seconds = self.registry.histogram(
+            "tybec_request_seconds",
+            "HTTP request latency by endpoint and status.",
+            labelnames=("endpoint", "status"),
+        )
+        self.registry.register_collector(
+            lambda: samples_from_service_metrics(self.metrics())
+        )
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -172,6 +200,17 @@ class ExplorationService:
     def count_request(self, endpoint: str) -> None:
         with self._lock:
             self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
+
+    def observe_request(self, endpoint: str, status: int, seconds: float) -> None:
+        """Feed one finished HTTP request into the latency histogram."""
+        if endpoint not in _KNOWN_ENDPOINTS:
+            endpoint = "other"
+        self.request_seconds.labels(
+            endpoint=endpoint, status=str(status)).observe(seconds)
+
+    def prometheus_metrics(self) -> str:
+        """The ``/metrics?format=prometheus`` text exposition."""
+        return self.registry.render_prometheus()
 
     @contextmanager
     def _slot(self):
@@ -461,13 +500,60 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "tybec-service/1"
 
+    #: HTTP status of the in-flight request (recorded by send_response)
+    _status = 0
+    #: trace id of the in-flight request (adopted from X-Tybec-Trace or
+    #: minted by the active tracer); stamped on every streamed event
+    _trace_id: str | None = None
+
     @property
     def service(self) -> ExplorationService:
         return self.server.service  # type: ignore[attr-defined]
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        if getattr(self.server, "verbose", False):
-            super().log_message(format, *args)
+        # the stdlib default writes raw lines to stderr; route through the
+        # structured logger instead so nothing is silently swallowed (the
+        # per-request access event with timing is emitted by _handle)
+        log_event(
+            _ACCESS_LOG,
+            "http",
+            level=logging.DEBUG,
+            client=self.address_string(),
+            message=format % args,
+            trace=self._trace_id or "-",
+        )
+
+    def send_response(self, code, message=None):
+        self._status = code
+        super().send_response(code, message)
+
+    def _handle(self, method: str, route) -> None:
+        """Run one routed request under a span, then emit the access log."""
+        started = time.perf_counter()
+        self._status = 0
+        incoming = self.headers.get(TRACE_HEADER) or None
+        with trace_span("service.request", incoming,
+                        method=method, path=self.path) as sp:
+            self._trace_id = sp.trace_id if sp is not None else incoming
+            try:
+                route()
+            finally:
+                elapsed = time.perf_counter() - started
+                self.service.observe_request(
+                    urlsplit(self.path).path, self._status, elapsed)
+                log_event(
+                    _ACCESS_LOG,
+                    "request",
+                    level=logging.INFO
+                    if getattr(self.server, "verbose", False)
+                    else logging.DEBUG,
+                    method=method,
+                    path=self.path,
+                    status=self._status,
+                    duration_ms=round(elapsed * 1e3, 3),
+                    trace=self._trace_id or "-",
+                )
+                self._trace_id = None
 
     # -- plumbing ------------------------------------------------------
     def _send_json(self, payload: dict, status: int = 200) -> None:
@@ -475,14 +561,29 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self._trace_id:
+            self.send_header(TRACE_HEADER, self._trace_id)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_text(self, body: str, status: int = 200,
+                   content_type: str = "text/plain; charset=utf-8") -> None:
+        data = body.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        if self._trace_id:
+            self.send_header(TRACE_HEADER, self._trace_id)
+        self.end_headers()
+        self.wfile.write(data)
 
     def _start_stream(self) -> None:
         self._broken = False
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Transfer-Encoding", "chunked")
+        if self._trace_id:
+            self.send_header(TRACE_HEADER, self._trace_id)
         self.end_headers()
 
     def _stream_event(self, event: dict) -> None:
@@ -490,10 +591,15 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
         A client hanging up must not kill the computation — followers
         (and the results cache) still need it — so write failures just
-        stop this connection's output.
+        stop this connection's output.  When the request carries a trace
+        id, every event is stamped with it under a top-level ``trace``
+        key — a sibling of the canonical ``payload``, never inside it,
+        so report bytes stay identical to an untraced run's.
         """
         if self._broken:
             return
+        if self._trace_id:
+            event = {**event, "trace": self._trace_id}
         data = canonical_json_line(event).encode()
         try:
             self.wfile.write(f"{len(data):X}\r\n".encode() + data + b"\r\n")
@@ -525,19 +631,35 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         with self.server.track_request():  # type: ignore[attr-defined]
-            if self.path == "/healthz":
-                self._send_json({"ok": True, "service": "tybec-exploration"})
-            elif self.path == "/metrics":
-                self.service.count_request("metrics")
+            self._handle("GET", self._do_get)
+
+    def _do_get(self) -> None:
+        parts = urlsplit(self.path)
+        if parts.path == "/healthz":
+            self._send_json({"ok": True, "service": "tybec-exploration"})
+        elif parts.path == "/metrics":
+            self.service.count_request("metrics")
+            fmt = (parse_qs(parts.query).get("format") or ["json"])[0]
+            if fmt == "prometheus":
+                self._send_text(
+                    self.service.prometheus_metrics(),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif fmt == "json":
                 self._send_json(self.service.metrics())
             else:
                 self.service.count_request("errors")
-                self._send_json({"error": f"no such endpoint {self.path!r}"},
-                                404)
+                self._send_json(
+                    {"error": f"unknown metrics format {fmt!r}; "
+                     "use 'json' or 'prometheus'"}, 400)
+        else:
+            self.service.count_request("errors")
+            self._send_json({"error": f"no such endpoint {parts.path!r}"},
+                            404)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         with self.server.track_request():  # type: ignore[attr-defined]
-            self._do_post()
+            self._handle("POST", self._do_post)
 
     def _do_post(self) -> None:
         try:

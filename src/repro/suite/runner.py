@@ -22,6 +22,8 @@ from repro.explore.engine import ExplorationEngine, SweepResult
 from repro.explore.space import DesignSpace, build_jobs
 from repro.kernels import REGISTRY, KernelWorkload, get_kernel
 from repro.models.streaming import PatternKind
+from repro.obs.profile import maybe_profile
+from repro.obs.trace import span as trace_span
 from repro.suite.report import DSE_SCHEMA, SCHEMA, SuiteReport
 from repro.substrate import get_device
 
@@ -246,6 +248,11 @@ class WorkloadSuite:
         (a broadcast pass is a single vectorized evaluation — there is no
         finer-grained boundary to interrupt it at).
         """
+        with trace_span("suite.sweep", kernels=len(self.config.kernels)), \
+                maybe_profile("suite.sweep"):
+            return self._sweep(deadline)
+
+    def _sweep(self, deadline=None) -> tuple[dict[str, DesignSpace], SweepResult]:
         spaces = self.spaces()
         dense = getattr(self.engine.backend, "explore_space", None)
         if dense is None:
@@ -461,14 +468,16 @@ def run_dse(config: SuiteConfig | None = None, optimizer: str = "fmax", *,
     engine = ExplorationEngine(backend)
     runs: dict[str, object] = {}
     started = time.perf_counter()
-    for label in sorted(optimizers):
-        callback = None
-        if on_round is not None:
-            def callback(round_, entries, label=label):
-                on_round(label, round_, entries)
-        runs[label] = engine.run_optimizer(optimizers[label],
-                                           deadline=deadline,
-                                           on_round=callback)
+    with trace_span("dse.run", optimizer=optimizer,
+                    slots=len(optimizers)), maybe_profile("dse.run"):
+        for label in sorted(optimizers):
+            callback = None
+            if on_round is not None:
+                def callback(round_, entries, label=label):
+                    on_round(label, round_, entries)
+            runs[label] = engine.run_optimizer(optimizers[label],
+                                               deadline=deadline,
+                                               on_round=callback)
     wall = time.perf_counter() - started
     report = build_dse_report(config, optimizer, params, runs)
     return DseRun(report=report, runs=runs, optimizer=optimizer,

@@ -1,0 +1,15 @@
+"""Shared tracer hygiene for the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import uninstall_tracer
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    """Every test starts and ends with no ambient tracer installed."""
+    uninstall_tracer()
+    yield
+    uninstall_tracer()

@@ -1,0 +1,191 @@
+"""MetricsRegistry semantics and Prometheus text-exposition validity."""
+
+from __future__ import annotations
+
+import re
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricSample,
+    MetricsRegistry,
+    render_prometheus,
+    samples_from_counter_snapshot,
+    samples_from_disk_cache_stats,
+    samples_from_pipeline_stats,
+    samples_from_service_metrics,
+)
+
+# One exposition line: comment, blank, or `name{labels} value` where the
+# value is a prometheus float (including +Inf/-Inf/NaN).
+_METRIC_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})?"
+    r" (?:[+-]?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|Inf)|NaN)$"
+)
+_COMMENT_LINE = re.compile(r"^# (?:HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$")
+
+
+def assert_valid_exposition(text: str) -> None:
+    assert text.endswith("\n"), "exposition must end with a newline"
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            assert not line or _COMMENT_LINE.match(line), line
+        else:
+            assert _METRIC_LINE.match(line), f"malformed sample line: {line!r}"
+
+
+class TestInstruments:
+    def test_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        hits = reg.counter("hits_total", "Hits.")
+        hits.inc()
+        hits.inc(2)
+        depth = reg.gauge("queue_depth", "Depth.")
+        depth.set(4)
+        depth.dec()
+        snap = reg.as_dict()
+        assert snap["hits_total"]["_"] == 3
+        assert snap["queue_depth"]["_"] == 3
+
+    def test_labeled_children_are_independent_and_cached(self):
+        reg = MetricsRegistry()
+        req = reg.counter("req_total", "Requests.", labelnames=("code",))
+        req.labels(code=200).inc(5)
+        req.labels(code=500).inc()
+        assert req.labels(code=200) is req.labels(code=200)
+        assert reg.as_dict()["req_total"] == {"200": 5, "500": 1}
+
+    def test_wrong_labels_rejected(self):
+        reg = MetricsRegistry()
+        req = reg.counter("req_total", labelnames=("code",))
+        with pytest.raises(ValueError, match="expected labels"):
+            req.labels(status=200)
+
+    def test_reregistration_returns_same_metric(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x_total") is reg.counter("x_total")
+        with pytest.raises(ValueError, match="conflicting"):
+            reg.gauge("x_total")
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        lat = reg.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            lat.observe(value)
+        text = reg.render_prometheus()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 3' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 4' in text
+        assert "lat_seconds_count 4" in text
+        assert "lat_seconds_sum 6.05" in text
+
+    def test_thread_safety_under_contention(self):
+        reg = MetricsRegistry()
+        total = reg.counter("spins_total", labelnames=("worker",))
+        lat = reg.histogram("spin_seconds")
+
+        def spin(worker: int) -> None:
+            child = total.labels(worker=worker)
+            for _ in range(1000):
+                child.inc()
+                lat.observe(0.01)
+
+        threads = [threading.Thread(target=spin, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = reg.as_dict()
+        assert sum(snap["spins_total"].values()) == 8000
+        assert snap["spin_seconds"]["_"]["count"] == 8000
+
+
+class TestExposition:
+    def test_registry_exposition_is_valid(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "With help.", labelnames=("k",)).labels(
+            k='tri"cky\\path\n').inc()
+        reg.gauge("b").set(2.5)
+        reg.histogram("c_seconds").observe(0.2)
+        reg.register_collector(lambda: [
+            MetricSample("d_total", {"site": "x"}, 7, "counter", "Coll."),
+        ])
+        text = reg.render_prometheus()
+        assert_valid_exposition(text)
+        assert "# TYPE a_total counter" in text
+        assert "# TYPE c_seconds histogram" in text
+        assert 'd_total{site="x"} 7' in text
+
+    def test_collector_duplicate_label_sets_are_deduped(self):
+        samples = [
+            MetricSample("dup_total", {"k": "v"}, 1, "counter"),
+            MetricSample("dup_total", {"k": "v"}, 9, "counter"),
+        ]
+        text = render_prometheus(samples)
+        assert text.count("dup_total{") == 1
+        assert 'dup_total{k="v"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+        reg = MetricsRegistry()
+        reg.counter("never_touched_total")
+        assert "never_touched" not in reg.render_prometheus()
+
+
+class TestBridges:
+    def test_counter_snapshot_bridge(self):
+        samples = samples_from_counter_snapshot(
+            {"retries": 3, "retries.tool": 1})
+        assert [(s.labels["counter"], s.value) for s in samples] == [
+            ("retries", 3.0), ("retries.tool", 1.0)]
+        assert all(s.name == "tybec_resilience_events_total" for s in samples)
+
+    def test_pipeline_stats_bridge(self):
+        samples = samples_from_pipeline_stats({
+            "family": [10, 2],
+            "stage_seconds": {"analyze": 0.5},
+            "family_fallbacks": 1,
+        })
+        by = {(s.name, tuple(sorted(s.labels.items()))): s.value
+              for s in samples}
+        assert by[("tybec_pipeline_cache_requests_total",
+                   (("layer", "family"), ("result", "hit")))] == 10.0
+        assert by[("tybec_pipeline_cache_requests_total",
+                   (("layer", "family"), ("result", "miss")))] == 2.0
+        assert by[("tybec_pipeline_stage_seconds_total",
+                   (("stage", "analyze"),))] == 0.5
+        assert by[("tybec_pipeline_family_fallbacks_total", ())] == 1.0
+
+    def test_disk_cache_bridge_skips_non_numeric(self):
+        samples = samples_from_disk_cache_stats(
+            {"entries": 4, "root": "/tmp/x", "bytes": 123, "enabled": True})
+        assert {s.name for s in samples} == {
+            "tybec_disk_cache_entries", "tybec_disk_cache_bytes"}
+
+    def test_service_metrics_bridge_covers_scattered_surfaces(self):
+        payload = {
+            "uptime_seconds": 12.5,
+            "requests": {"suite": 4, "errors": 1},
+            "sweeps": {"started": 2, "completed": 2},
+            "coalesce": {"joined": 1},
+            "queue": {"depth": 0},
+            "resilience": {"counters": {"retries": 2}},
+            "pipeline": {"family": [1, 1]},
+            "disk_cache": {"entries": 3},
+        }
+        samples = samples_from_service_metrics(payload)
+        names = {s.name for s in samples}
+        assert names >= {
+            "tybec_service_uptime_seconds",
+            "tybec_service_requests_total",
+            "tybec_service_sweeps_total",
+            "tybec_service_coalesce_total",
+            "tybec_service_queue",
+            "tybec_resilience_events_total",
+            "tybec_pipeline_cache_requests_total",
+            "tybec_disk_cache_entries",
+        }
+        assert_valid_exposition(render_prometheus(samples))
